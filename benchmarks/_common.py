@@ -1,0 +1,76 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Every benchmark module regenerates one artefact of the paper's evaluation at
+laptop scale: it runs the corresponding experiment through
+:mod:`repro.experiments.figures`, times it with ``pytest-benchmark`` and
+writes the resulting rows (the same columns the paper plots) both to stdout
+and to ``benchmarks/results/<name>.txt``.
+
+Absolute values are not comparable to the paper (Python simulator, synthetic
+workloads, compressed time scale); the *shape* -- which algorithm wins, how
+the curves move with each parameter -- is what the benchmarks reproduce.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.harness import ExperimentRunner
+from repro.experiments.reporting import format_rows, rows_to_csv
+
+#: Output directory for the regenerated tables.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Laptop-scale fractions of the paper's instance sizes used by every figure
+#: benchmark: 100K requests -> 80, 3K vehicles -> 60.
+BENCH_REQUEST_FRACTION = 0.0008
+BENCH_VEHICLE_FRACTION = 0.02
+BENCH_CITY_SCALE = 0.35
+
+#: The full algorithm line-up of the paper's main figures.
+ALL_ALGORITHMS = ("pruneGDP", "TicketAssign+", "DARM+DPRS", "RTV", "GAS", "SARD")
+#: Reduced line-up for the heaviest sweeps.
+CORE_ALGORITHMS = ("pruneGDP", "RTV", "GAS", "SARD")
+
+
+def make_runner(algorithms=ALL_ALGORITHMS, **overrides) -> ExperimentRunner:
+    """The benchmark-sized experiment runner."""
+    params = {
+        "algorithms": algorithms,
+        "request_fraction": BENCH_REQUEST_FRACTION,
+        "vehicle_fraction": BENCH_VEHICLE_FRACTION,
+        "city_scale": BENCH_CITY_SCALE,
+    }
+    params.update(overrides)
+    return ExperimentRunner(**params)
+
+
+def save_figure(name: str, figure: FigureResult) -> str:
+    """Persist and return the text table of a figure result."""
+    rows = figure.all_rows()
+    text = format_rows(rows, title=f"{figure.figure} -- parameter: {figure.parameter}")
+    _write(name, text, rows)
+    return text
+
+
+def save_rows(name: str, title: str, rows) -> str:
+    """Persist and return the text table for a plain list of result rows."""
+    text = format_rows(rows, title=title)
+    _write(name, text, rows)
+    return text
+
+
+def save_text(name: str, text: str) -> str:
+    """Persist free-form text output (used by the ablation tables)."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(text)
+    return text
+
+
+def _write(name: str, text: str, rows) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    rows_to_csv(rows, RESULTS_DIR / f"{name}.csv")
+    print(text)

@@ -1,0 +1,34 @@
+"""Figure 15: the five Cainiao (delivery) sweeps.
+
+The paper repeats the vehicle, request, deadline, penalty and batch-period
+sweeps on the Cainiao delivery dataset (Appendix B).  This benchmark runs the
+scaled-down equivalents on the ``cainiao`` synthetic preset.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+from _common import make_runner, save_figure
+
+#: The paper omits DARM+DPRS on Cainiao (insufficient training data).
+CAINIAO_ALGORITHMS = ("pruneGDP", "TicketAssign+", "RTV", "GAS", "SARD")
+
+
+def test_figure15_cainiao_sweeps(benchmark):
+    runner = make_runner(CAINIAO_ALGORITHMS)
+
+    def run():
+        return figures.figure15(
+            algorithms=CAINIAO_ALGORITHMS, runner=runner, quick=True,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert set(results) == {
+        "num_vehicles", "num_requests", "gamma", "penalty_coefficient", "batch_period",
+    }
+    for parameter, figure in results.items():
+        save_figure(f"figure15_cainiao_{parameter}", figure)
+        for row in figure.all_rows():
+            assert row.dataset == "Cainiao"
+            assert 0.0 <= row.service_rate <= 1.0

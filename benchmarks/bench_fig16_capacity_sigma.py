@@ -1,0 +1,31 @@
+"""Figure 16: capacity and capacity-variance sweeps on the Cainiao preset."""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+from _common import make_runner, save_figure
+
+CAINIAO_ALGORITHMS = ("pruneGDP", "RTV", "GAS", "SARD")
+
+
+def test_figure16_capacity_and_sigma(benchmark):
+    runner = make_runner(CAINIAO_ALGORITHMS)
+
+    def run():
+        return figures.figure16(
+            capacity_values=(2, 4, 6),
+            sigma_values=(0.0, 1.0, 2.0),
+            algorithms=CAINIAO_ALGORITHMS,
+            runner=runner,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_figure("figure16_capacity", results["capacity"])
+    save_figure("figure16_capacity_sigma", results["capacity_sigma"])
+    # Appendix C: the capacity-variance sigma has a negligible effect on the
+    # quality metrics -- the curves stay flat.
+    sigma_sweep = results["capacity_sigma"].sweeps["cainiao"]
+    for algorithm, series in sigma_sweep.series("service_rate").items():
+        rates = [value for _, value in series]
+        assert max(rates) - min(rates) <= 0.25

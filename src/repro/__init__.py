@@ -1,0 +1,174 @@
+"""StructRide reproduction: structure-aware batched dynamic ridesharing.
+
+This package is a from-scratch Python reproduction of *StructRide: A
+Framework to Exploit the Structure Information of Shareability Graph in
+Ridesharing* (ICDE 2025).  The public API re-exports the pieces a downstream
+user typically needs:
+
+* the road-network substrate (:class:`RoadNetwork`, :class:`DistanceOracle`,
+  :class:`GridIndex`, synthetic city generators),
+* the ridesharing data model (:class:`Request`, :class:`Vehicle`,
+  :class:`Schedule`),
+* the shareability graph and its builder,
+* the SARD dispatcher and the five baselines,
+* the batch simulator and the experiment harness.
+
+Quick start::
+
+    from repro import make_workload, Simulator, SARDDispatcher
+
+    workload = make_workload("nyc", scale=0.1)
+    simulator = Simulator(
+        network=workload.network,
+        oracle=workload.fresh_oracle(),
+        vehicles=workload.fresh_vehicles(),
+        requests=workload.requests,
+        dispatcher=SARDDispatcher(),
+        config=workload.simulation_config,
+    )
+    result = simulator.run()
+    print(result.service_rate, result.unified_cost)
+"""
+
+from .config import ExperimentConfig, SimulationConfig, WorkloadConfig
+from .exceptions import (
+    ConfigurationError,
+    DispatchError,
+    InfeasibleInsertionError,
+    NetworkError,
+    ReproError,
+    ScheduleError,
+    UnreachableError,
+    WorkloadError,
+)
+from .network import (
+    DistanceOracle,
+    GridIndex,
+    QueryStatistics,
+    RoadNetwork,
+    grid_city,
+    make_city,
+    ring_radial_city,
+)
+from .model import (
+    Batch,
+    BatchStream,
+    Request,
+    RouteState,
+    Schedule,
+    ScheduleEvaluation,
+    Vehicle,
+    Waypoint,
+    WaypointKind,
+)
+from .insertion import (
+    InsertionOutcome,
+    KineticTreeScheduler,
+    are_shareable,
+    best_insertion,
+    best_pair_schedule,
+    insert_sequence,
+)
+from .shareability import (
+    DynamicShareabilityGraphBuilder,
+    ShareabilityGraph,
+    expected_sharing_probability,
+    shareability_loss,
+    substitute_supernode,
+)
+from .grouping import RequestGroup, build_groups
+from .dispatch import (
+    DISPATCHER_REGISTRY,
+    Assignment,
+    DARMDispatcher,
+    DispatchContext,
+    DispatchResult,
+    Dispatcher,
+    GASDispatcher,
+    PruneGDPDispatcher,
+    RTVDispatcher,
+    SARDDispatcher,
+    TicketAssignDispatcher,
+    make_dispatcher,
+)
+from .simulation import MetricsCollector, SimulationResult, Simulator, unified_cost
+from .workloads import Workload, make_workload
+from .experiments import ExperimentRunner, ResultRow, SweepResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "SimulationConfig",
+    "WorkloadConfig",
+    "ExperimentConfig",
+    # exceptions
+    "ReproError",
+    "ConfigurationError",
+    "NetworkError",
+    "UnreachableError",
+    "ScheduleError",
+    "InfeasibleInsertionError",
+    "DispatchError",
+    "WorkloadError",
+    # network substrate
+    "RoadNetwork",
+    "DistanceOracle",
+    "QueryStatistics",
+    "GridIndex",
+    "grid_city",
+    "ring_radial_city",
+    "make_city",
+    # data model
+    "Request",
+    "Vehicle",
+    "RouteState",
+    "Schedule",
+    "ScheduleEvaluation",
+    "Waypoint",
+    "WaypointKind",
+    "Batch",
+    "BatchStream",
+    # insertion operators
+    "InsertionOutcome",
+    "best_insertion",
+    "insert_sequence",
+    "KineticTreeScheduler",
+    "are_shareable",
+    "best_pair_schedule",
+    # shareability graph
+    "ShareabilityGraph",
+    "DynamicShareabilityGraphBuilder",
+    "shareability_loss",
+    "substitute_supernode",
+    "expected_sharing_probability",
+    # grouping
+    "RequestGroup",
+    "build_groups",
+    # dispatchers
+    "Dispatcher",
+    "DispatchContext",
+    "DispatchResult",
+    "Assignment",
+    "SARDDispatcher",
+    "PruneGDPDispatcher",
+    "TicketAssignDispatcher",
+    "GASDispatcher",
+    "RTVDispatcher",
+    "DARMDispatcher",
+    "DISPATCHER_REGISTRY",
+    "make_dispatcher",
+    # simulation
+    "Simulator",
+    "SimulationResult",
+    "MetricsCollector",
+    "unified_cost",
+    # workloads
+    "Workload",
+    "make_workload",
+    # experiments
+    "ExperimentRunner",
+    "SweepResult",
+    "ResultRow",
+]

@@ -1,0 +1,185 @@
+"""Configuration objects for simulations and experiments.
+
+The parameter names follow Table II / Table III of the paper:
+
+* ``gamma`` -- deadline parameter: the deadline of request *r* is
+  ``release_time + gamma * cost(source, destination)``.
+* ``penalty_coefficient`` (``pr``) -- multiplier applied to the direct travel
+  cost of every unserved request inside the unified cost (Equation 3).
+* ``batch_period`` (``Delta``) -- length of a batch in seconds.
+* ``capacity`` (``c``) -- number of seats of a vehicle.
+* ``max_wait`` -- maximum time a rider is willing to wait for pick-up
+  (the paper uses 5 minutes, following Santi et al.).
+* ``angle_threshold`` (``delta``) -- angle pruning threshold in radians used
+  by the shareability-graph builder; ``None`` disables the pruning rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from .exceptions import ConfigurationError
+
+#: Default maximum waiting time for a pick-up, in seconds (5 minutes).
+DEFAULT_MAX_WAIT = 300.0
+
+#: Default angle pruning threshold, in radians (pi / 2 as used in the paper).
+DEFAULT_ANGLE_THRESHOLD = math.pi / 2.0
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters controlling one simulated day of batched dispatching.
+
+    The defaults reproduce the bold entries of Table III in the paper,
+    scaled to a laptop-sized synthetic workload.  All durations are in
+    seconds and all travel costs are in seconds of travel time.
+    """
+
+    #: Deadline parameter gamma (> 1): deadline = release + gamma * direct cost.
+    gamma: float = 1.5
+    #: Penalty coefficient pr for unserved requests in the unified cost.
+    penalty_coefficient: float = 10.0
+    #: Batch period Delta in seconds.
+    batch_period: float = 3.0
+    #: Vehicle capacity c (seats).  Per-vehicle overrides are possible.
+    capacity: int = 3
+    #: Weight alpha of the travel-cost term in the unified cost (paper fixes 1).
+    alpha: float = 1.0
+    #: Maximum rider waiting time before pick-up, in seconds.
+    max_wait: float = DEFAULT_MAX_WAIT
+    #: Angle pruning threshold delta in radians; ``None`` disables pruning.
+    angle_threshold: float | None = DEFAULT_ANGLE_THRESHOLD
+    #: Side length (number of cells per axis) of the grid index.
+    grid_cells: int = 32
+    #: Random seed used by stochastic components (tie-breaking, baselines).
+    seed: int = 42
+    #: Hard cap on group size enumerated by batch dispatchers (defaults to
+    #: the vehicle capacity when ``None``).
+    max_group_size: int | None = None
+    #: Keep unassigned requests in the working pool until they expire.
+    retain_unassigned: bool = True
+
+    def __post_init__(self) -> None:
+        if self.gamma <= 1.0:
+            raise ConfigurationError(
+                f"gamma must be > 1 (got {self.gamma}); a deadline equal to the "
+                "direct travel time leaves no room for detours"
+            )
+        if self.penalty_coefficient < 0:
+            raise ConfigurationError("penalty_coefficient must be non-negative")
+        if self.batch_period <= 0:
+            raise ConfigurationError("batch_period must be positive")
+        if self.capacity < 1:
+            raise ConfigurationError("capacity must be at least 1")
+        if self.alpha < 0:
+            raise ConfigurationError("alpha must be non-negative")
+        if self.max_wait < 0:
+            raise ConfigurationError("max_wait must be non-negative")
+        if self.angle_threshold is not None and not 0 < self.angle_threshold <= math.pi:
+            raise ConfigurationError(
+                "angle_threshold must be in (0, pi] radians or None to disable"
+            )
+        if self.grid_cells < 1:
+            raise ConfigurationError("grid_cells must be at least 1")
+        if self.max_group_size is not None and self.max_group_size < 1:
+            raise ConfigurationError("max_group_size must be at least 1 or None")
+
+    @property
+    def group_size_limit(self) -> int:
+        """Largest request group a batch dispatcher will enumerate."""
+        if self.max_group_size is None:
+            return self.capacity
+        return min(self.max_group_size, self.capacity)
+
+    def with_overrides(self, **overrides: Any) -> "SimulationConfig":
+        """Return a copy of this configuration with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of a synthetic workload used to stand in for the real traces.
+
+    The three presets (``chengdu_like``, ``nyc_like``, ``cainiao_like``)
+    differ only in these knobs; see :mod:`repro.workloads.presets`.
+    """
+
+    #: Identifier used in reports ("CHD", "NYC", "Cainiao", ...).
+    name: str = "synthetic"
+    #: Number of requests to generate.
+    num_requests: int = 2000
+    #: Number of vehicles.
+    num_vehicles: int = 60
+    #: Length of the request-arrival horizon in seconds.  Ignored when
+    #: ``arrival_rate`` is positive (the horizon is then derived from it).
+    horizon: float = 1800.0
+    #: Mean request arrival rate in requests per second.  When positive the
+    #: horizon becomes ``num_requests / arrival_rate`` so that scaling the
+    #: request count up or down preserves the per-batch request density --
+    #: the property batch-mode dispatchers are sensitive to.
+    arrival_rate: float = 0.0
+    #: Mean of ln(trip travel time) for the log-normal trip-length model.
+    trip_log_mean: float = math.log(420.0)
+    #: Standard deviation of ln(trip travel time).
+    trip_log_sigma: float = 0.55
+    #: Number of demand hotspots (origin/destination clusters).
+    num_hotspots: int = 6
+    #: Fraction of requests whose origin is drawn from a hotspot.
+    hotspot_fraction: float = 0.7
+    #: Mean number of riders per request (1 rider with prob ~ 1/mean tail).
+    mean_riders: float = 1.3
+    #: Random seed for workload generation.
+    seed: int = 7
+    #: Standard deviation sigma of the vehicle-capacity distribution
+    #: (paper Appendix C); 0 means every vehicle has the default capacity.
+    capacity_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 0:
+            raise ConfigurationError("num_requests must be non-negative")
+        if self.num_vehicles < 0:
+            raise ConfigurationError("num_vehicles must be non-negative")
+        if self.horizon <= 0:
+            raise ConfigurationError("horizon must be positive")
+        if self.arrival_rate < 0:
+            raise ConfigurationError("arrival_rate must be non-negative")
+        if self.trip_log_sigma < 0:
+            raise ConfigurationError("trip_log_sigma must be non-negative")
+        if not 0.0 <= self.hotspot_fraction <= 1.0:
+            raise ConfigurationError("hotspot_fraction must be in [0, 1]")
+        if self.mean_riders < 1.0:
+            raise ConfigurationError("mean_riders must be at least 1")
+        if self.capacity_sigma < 0:
+            raise ConfigurationError("capacity_sigma must be non-negative")
+
+    @property
+    def effective_horizon(self) -> float:
+        """Arrival horizon actually used by the request generator."""
+        if self.arrival_rate > 0:
+            return max(self.num_requests / self.arrival_rate, 1.0)
+        return self.horizon
+
+    def with_overrides(self, **overrides: Any) -> "WorkloadConfig":
+        """Return a copy of this configuration with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass
+class ExperimentConfig:
+    """One experiment = a workload, a simulation config and algorithm names."""
+
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    simulation: SimulationConfig = field(default_factory=SimulationConfig)
+    algorithms: tuple[str, ...] = (
+        "pruneGDP",
+        "TicketAssign+",
+        "DARM+DPRS",
+        "RTV",
+        "GAS",
+        "SARD",
+    )
+    #: Human-readable label for reports ("Figure 8 (CHD)", ...).
+    label: str = "experiment"

@@ -1,0 +1,144 @@
+"""Common dispatcher interface and shared helpers."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from ..config import SimulationConfig
+from ..model.batch import Batch
+from ..model.request import Request
+from ..model.schedule import Schedule
+from ..model.vehicle import Vehicle
+from ..network.grid_index import GridIndex
+from ..network.road_network import RoadNetwork
+from ..network.shortest_path import DistanceOracle
+
+
+@dataclass
+class DispatchContext:
+    """Everything a dispatcher may consult when handling one batch.
+
+    ``pending`` contains every unassigned, unexpired request known to the
+    platform, including the requests of the current ``batch``.  Dispatchers
+    must not mutate the vehicles; they return assignments and the simulator
+    applies them.
+    """
+
+    current_time: float
+    batch: Batch
+    pending: list[Request]
+    vehicles: list[Vehicle]
+    network: RoadNetwork
+    oracle: DistanceOracle
+    vehicle_index: GridIndex
+    config: SimulationConfig
+    #: Mean driving speed in m/s, used to convert time slack to search radii.
+    average_speed: float = 10.0
+
+    def vehicle_by_id(self, vehicle_id: int) -> Vehicle:
+        """Look up a vehicle by identifier."""
+        for vehicle in self.vehicles:
+            if vehicle.vehicle_id == vehicle_id:
+                return vehicle
+        raise KeyError(f"unknown vehicle {vehicle_id}")
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One vehicle's new schedule together with the newly accepted requests."""
+
+    vehicle_id: int
+    schedule: Schedule
+    new_requests: tuple[Request, ...]
+
+    @property
+    def new_request_ids(self) -> set[int]:
+        """Identifiers of the requests accepted by this assignment."""
+        return {request.request_id for request in self.new_requests}
+
+
+@dataclass
+class DispatchResult:
+    """Assignments produced for one batch plus explicitly rejected requests.
+
+    Requests that are neither assigned nor rejected stay in the pending pool
+    and are offered again in the next batch (until they expire).
+    """
+
+    assignments: list[Assignment] = field(default_factory=list)
+    rejected: list[Request] = field(default_factory=list)
+
+    @property
+    def assigned_request_ids(self) -> set[int]:
+        """Identifiers of every request assigned in this result."""
+        ids: set[int] = set()
+        for assignment in self.assignments:
+            ids |= assignment.new_request_ids
+        return ids
+
+
+class Dispatcher(abc.ABC):
+    """Abstract base class of every dispatching algorithm."""
+
+    #: Paper name of the algorithm ("SARD", "pruneGDP", ...).
+    name: str = "dispatcher"
+
+    @abc.abstractmethod
+    def dispatch(self, context: DispatchContext) -> DispatchResult:
+        """Handle one batch and return the schedule assignments."""
+
+    def reset(self) -> None:
+        """Forget any cross-batch state (called between simulations)."""
+
+    def estimated_memory_bytes(self) -> int:
+        """Approximate working-set size, reported in the memory study."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def requests_by_vehicle(
+    context: DispatchContext,
+    requests: list[Request],
+    *,
+    max_candidates: int | None = None,
+) -> dict[int, list[Request]]:
+    """Invert :func:`candidate_vehicles`: which requests could each vehicle serve.
+
+    Batch dispatchers that enumerate groups per vehicle (GAS, RTV) use this
+    mapping as their RV-edge pruning: a vehicle only considers the requests
+    whose pick-up it can plausibly reach before the waiting deadline.
+    """
+    mapping: dict[int, list[Request]] = {vehicle.vehicle_id: [] for vehicle in context.vehicles}
+    for request in requests:
+        for vehicle in candidate_vehicles(request, context, max_candidates=max_candidates):
+            mapping[vehicle.vehicle_id].append(request)
+    return mapping
+
+
+def candidate_vehicles(
+    request: Request,
+    context: DispatchContext,
+    *,
+    max_candidates: int | None = None,
+) -> list[Vehicle]:
+    """Vehicles that could plausibly pick ``request`` up before its deadline.
+
+    Uses the grid index to retrieve vehicles within the distance reachable in
+    the request's remaining pick-up slack, then falls back to the whole fleet
+    when the range query returns nothing (e.g. sparse fleets).
+    """
+    source_xy = context.network.position(request.source)
+    slack = max(request.latest_pickup - context.current_time, 0.0)
+    radius = max(context.average_speed * slack, 1.0)
+    ids = context.vehicle_index.query_radius(source_xy[0], source_xy[1], radius)
+    by_id = {vehicle.vehicle_id: vehicle for vehicle in context.vehicles}
+    found = [by_id[vid] for vid in ids if vid in by_id]
+    if not found:
+        found = list(context.vehicles)
+    if max_candidates is not None and len(found) > max_candidates:
+        found.sort(key=lambda v: context.network.euclidean(v.location, request.source))
+        found = found[:max_candidates]
+    return found

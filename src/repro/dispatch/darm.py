@@ -1,0 +1,179 @@
+"""DARM+DPRS substitute: demand-anticipating repositioning + insertion matching.
+
+The paper compares against DARM+DPRS [53], a deep-reinforcement-learning
+dispatcher that jointly matches requests and repositions idle vehicles toward
+areas of anticipated demand.  Training an RL policy is outside the scope of a
+deterministic reproduction, so this module implements a model-free stand-in
+with the same observable behaviour:
+
+* a per-grid-cell demand estimate maintained as an exponential moving average
+  of recent request arrivals (the "demand prediction"),
+* idle vehicles beyond a small reserve are repositioned toward the
+  highest-demand cells, paying the relocation travel time (the extra travel
+  cost the paper attributes to DARM+DPRS), and
+* request matching itself uses greedy linear insertion, like the online
+  baselines.
+
+The substitution is documented in ``DESIGN.md``: what matters for the
+reproduced figures is that DARM+DPRS behaves like an online method whose
+repositioning helps only when requests are sparse and otherwise adds travel
+cost -- which this heuristic reproduces.
+"""
+
+from __future__ import annotations
+
+from ..insertion.linear_insertion import best_insertion
+from ..model.request import Request
+from ..model.vehicle import RouteState
+from ..network.grid_index import GridIndex
+from .base import Assignment, DispatchContext, DispatchResult, Dispatcher, candidate_vehicles
+
+
+class DARMDispatcher(Dispatcher):
+    """Demand-anticipating repositioning with greedy insertion matching."""
+
+    name = "DARM+DPRS"
+
+    def __init__(
+        self,
+        *,
+        smoothing: float = 0.3,
+        reposition_fraction: float = 0.1,
+        reposition_period: float = 30.0,
+        max_candidates: int | None = 32,
+        reject_unassigned: bool = True,
+    ) -> None:
+        if not 0 < smoothing <= 1:
+            raise ValueError("smoothing must be in (0, 1]")
+        self._smoothing = smoothing
+        self._reposition_fraction = reposition_fraction
+        self._reposition_period = reposition_period
+        self._max_candidates = max_candidates
+        # Online semantics: unplaceable requests are rejected immediately.
+        self._reject_unassigned = reject_unassigned
+        self._demand: dict[tuple[int, int], float] = {}
+        self._last_reposition = float("-inf")
+        self.repositioned = 0
+        self.reposition_cost = 0.0
+
+    def reset(self) -> None:
+        self._demand = {}
+        self._last_reposition = float("-inf")
+        self.repositioned = 0
+        self.reposition_cost = 0.0
+
+    def estimated_memory_bytes(self) -> int:
+        # Demand table plus (a stand-in for) the learned policy parameters.
+        return 80 * len(self._demand) + 4000
+
+    # ------------------------------------------------------------------ #
+    def dispatch(self, context: DispatchContext) -> DispatchResult:
+        self._update_demand(context)
+        result = self._match(context)
+        self._reposition(context, result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _update_demand(self, context: DispatchContext) -> None:
+        """Exponential moving average of request arrivals per grid cell."""
+        arrivals: dict[tuple[int, int], int] = {}
+        for request in context.batch:
+            xy = context.network.position(request.source)
+            cell = context.vehicle_index.cell_of_point(*xy)
+            arrivals[cell] = arrivals.get(cell, 0) + 1
+        cells = set(self._demand) | set(arrivals)
+        for cell in cells:
+            previous = self._demand.get(cell, 0.0)
+            observed = float(arrivals.get(cell, 0))
+            self._demand[cell] = (
+                (1.0 - self._smoothing) * previous + self._smoothing * observed
+            )
+
+    def _match(self, context: DispatchContext) -> DispatchResult:
+        routes: dict[int, RouteState] = {
+            vehicle.vehicle_id: vehicle.route_state(context.current_time)
+            for vehicle in context.vehicles
+        }
+        accepted: dict[int, list[Request]] = {}
+        rejected: list[Request] = []
+        for request in sorted(context.pending, key=lambda r: (r.release_time, r.request_id)):
+            best_vehicle_id = None
+            best_outcome = None
+            for vehicle in candidate_vehicles(
+                request, context, max_candidates=self._max_candidates
+            ):
+                route = routes[vehicle.vehicle_id]
+                outcome = best_insertion(route, request, context.oracle)
+                if not outcome.feasible:
+                    continue
+                if best_outcome is None or outcome.delta_cost < best_outcome.delta_cost:
+                    best_outcome = outcome
+                    best_vehicle_id = vehicle.vehicle_id
+            if best_vehicle_id is None or best_outcome is None:
+                if self._reject_unassigned:
+                    rejected.append(request)
+                continue
+            old_route = routes[best_vehicle_id]
+            routes[best_vehicle_id] = RouteState(
+                vehicle_id=old_route.vehicle_id,
+                origin=old_route.origin,
+                departure_time=old_route.departure_time,
+                schedule=best_outcome.schedule,
+                capacity=old_route.capacity,
+                onboard=old_route.onboard,
+                min_insert_position=old_route.min_insert_position,
+            )
+            accepted.setdefault(best_vehicle_id, []).append(request)
+        assignments = [
+            Assignment(
+                vehicle_id=vehicle_id,
+                schedule=routes[vehicle_id].schedule,
+                new_requests=tuple(requests),
+            )
+            for vehicle_id, requests in accepted.items()
+        ]
+        return DispatchResult(assignments=assignments, rejected=rejected)
+
+    def _reposition(self, context: DispatchContext, result: DispatchResult) -> None:
+        """Send a fraction of the idle vehicles toward high-demand cells.
+
+        Repositioning is modelled as a committed relocation: the vehicle's
+        location jumps to the target node, its clock advances by the travel
+        time and the travel time is charged to its odometer, so it cannot
+        serve requests until it (virtually) arrives.
+        """
+        if not self._demand:
+            return
+        if context.current_time - self._last_reposition < self._reposition_period:
+            return
+        self._last_reposition = context.current_time
+        assigned_vehicles = {a.vehicle_id for a in result.assignments}
+        idle = [
+            vehicle
+            for vehicle in context.vehicles
+            if vehicle.is_idle and vehicle.vehicle_id not in assigned_vehicles
+        ]
+        if not idle:
+            return
+        budget = max(int(len(idle) * self._reposition_fraction), 0)
+        if budget == 0:
+            return
+        hot_cells = sorted(self._demand.items(), key=lambda kv: kv[1], reverse=True)
+        hot_cells = [cell for cell, demand in hot_cells[:budget] if demand > 0]
+        if not hot_cells:
+            return
+        index: GridIndex = context.vehicle_index
+        for vehicle, cell in zip(idle, hot_cells):
+            target_xy = index.cell_center(cell)
+            target_node = context.network.nearest_node(*target_xy)
+            if target_node == vehicle.location:
+                continue
+            travel = context.oracle.cost(vehicle.location, target_node)
+            if travel <= 0 or travel == float("inf"):
+                continue
+            vehicle.total_travel_time += travel
+            vehicle._clock = max(vehicle._clock, context.current_time) + travel
+            vehicle.location = target_node
+            index.move(vehicle.vehicle_id, *context.network.position(target_node))
+            self.repositioned += 1
+            self.reposition_cost += travel

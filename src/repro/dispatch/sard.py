@@ -1,0 +1,301 @@
+"""SARD: Structure-Aware Ridesharing Dispatch (Algorithm 3).
+
+SARD is the paper's contribution.  Per batch it:
+
+1. updates the dynamic shareability graph with the newly released requests
+   (Algorithm 1, with angle pruning),
+2. builds, for every pending request, a priority queue of candidate vehicles
+   ordered by *descending* additional travel cost -- requests propose to
+   their worst vehicle first, leaving the cheap vehicles free for requests
+   with fewer options,
+3. runs proposal / acceptance rounds: each vehicle enumerates feasible
+   groups among the requests that proposed to it (Algorithm 2) and accepts
+   the group with the smallest *shareability loss* (Definition 6), returning
+   the rest to the pool,
+4. repeats until no unassigned request has a vehicle left to propose to.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..config import SimulationConfig
+from ..grouping.additive_tree import GroupingStatistics, build_groups
+from ..grouping.group import RequestGroup
+from ..insertion.linear_insertion import best_insertion
+from ..model.request import Request
+from ..model.vehicle import RouteState, Vehicle
+from ..shareability.builder import DynamicShareabilityGraphBuilder
+from ..shareability.loss import residual_shareability_loss, sharing_ratio
+from .base import Assignment, DispatchContext, DispatchResult, Dispatcher, candidate_vehicles
+
+
+@dataclass
+class _VehicleState:
+    """Per-batch working state of one vehicle during proposal/acceptance."""
+
+    vehicle: Vehicle
+    route: RouteState
+    #: Requests that proposed to this vehicle in the current round.
+    proposals: dict[int, Request] = field(default_factory=dict)
+    #: Requests currently accepted by this vehicle (``w_x.ac`` in the paper).
+    accepted: dict[int, Request] = field(default_factory=dict)
+    #: The group realising the accepted set (carries the schedule).
+    accepted_group: RequestGroup | None = None
+
+
+class SARDDispatcher(Dispatcher):
+    """The structure-aware dispatcher of the paper.
+
+    Parameters
+    ----------
+    angle_threshold:
+        Override for the angle pruning threshold.  ``None`` keeps the value
+        from the simulation config; pass ``float('nan')`` via
+        :meth:`without_angle_pruning` to disable pruning (the plain "SARD"
+        row of Tables V/VI, versus "SARD-O" with pruning).
+    max_candidates:
+        Cap on the number of candidate vehicles per request (keeps the
+        proposal queues short on large fleets).
+    propose_worst_first:
+        The paper describes requests proposing to their *most expensive*
+        candidate vehicle first.  On the compressed synthetic workloads of
+        this reproduction that ordering wastes fleet time and flattens
+        SARD's advantage, so the default proposes cheapest-first; the
+        paper-literal ordering is kept as an option and exercised by the
+        proposal-order ablation benchmark (see DESIGN.md / EXPERIMENTS.md).
+    prefer_larger_groups:
+        Ablation switch: rank candidate groups primarily by size instead of
+        by shareability loss.
+    """
+
+    name = "SARD"
+
+    def __init__(
+        self,
+        *,
+        angle_threshold: float | None | str = "config",
+        max_candidates: int | None = 24,
+        propose_worst_first: bool = False,
+        prefer_larger_groups: bool = False,
+    ) -> None:
+        self._angle_override = angle_threshold
+        self._max_candidates = max_candidates
+        self._propose_worst_first = propose_worst_first
+        self._prefer_larger_groups = prefer_larger_groups
+        self._builder: DynamicShareabilityGraphBuilder | None = None
+        self.grouping_stats = GroupingStatistics()
+        self.rounds_executed = 0
+        self._last_group_count = 0
+
+    # ------------------------------------------------------------------ #
+    # configuration helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def with_angle_pruning(cls, threshold: float | None = None, **kwargs) -> "SARDDispatcher":
+        """SARD-O: the variant with the angle pruning rule enabled."""
+        dispatcher = cls(angle_threshold="config" if threshold is None else threshold, **kwargs)
+        dispatcher.name = "SARD-O"
+        return dispatcher
+
+    @classmethod
+    def without_angle_pruning(cls, **kwargs) -> "SARDDispatcher":
+        """Plain SARD: shareability graph built without angle pruning."""
+        dispatcher = cls(angle_threshold=None, **kwargs)
+        dispatcher.name = "SARD"
+        return dispatcher
+
+    def reset(self) -> None:
+        self._builder = None
+        self.grouping_stats = GroupingStatistics()
+        self.rounds_executed = 0
+        self._last_group_count = 0
+
+    def estimated_memory_bytes(self) -> int:
+        total = 0
+        if self._builder is not None:
+            total += self._builder.graph.estimated_memory_bytes()
+        total += 300 * self._last_group_count
+        return total
+
+    @property
+    def builder(self) -> DynamicShareabilityGraphBuilder | None:
+        """The dynamic shareability-graph builder (populated after first batch)."""
+        return self._builder
+
+    # ------------------------------------------------------------------ #
+    # main entry point
+    # ------------------------------------------------------------------ #
+    def dispatch(self, context: DispatchContext) -> DispatchResult:
+        config = self._effective_config(context.config)
+        builder = self._ensure_builder(context, config)
+
+        # Synchronise the graph with the pending pool: assigned / expired
+        # requests disappear, new ones are probed for shareable partners.
+        pending_by_id = {request.request_id: request for request in context.pending}
+        stale = [rid for rid in list(builder.graph.request_ids()) if rid not in pending_by_id]
+        builder.remove(stale)
+        new_requests = [r for r in context.pending if r.request_id not in builder.graph]
+        builder.update(new_requests)
+        graph = builder.graph
+
+        states = {
+            vehicle.vehicle_id: _VehicleState(
+                vehicle=vehicle, route=vehicle.route_state(context.current_time)
+            )
+            for vehicle in context.vehicles
+        }
+
+        # Candidate priority queues.  The paper proposes to the *worst*
+        # vehicle (largest insertion delta) first, leaving the cheap vehicles
+        # free for requests with fewer options; ``propose_worst_first=False``
+        # flips the order for the ablation study.
+        sign = -1.0 if self._propose_worst_first else 1.0
+        queues: dict[int, list[tuple[float, int]]] = {}
+        assigned_to: dict[int, int] = {}
+        for request in context.pending:
+            queue: list[tuple[float, int]] = []
+            for vehicle in candidate_vehicles(
+                request, context, max_candidates=self._max_candidates
+            ):
+                state = states[vehicle.vehicle_id]
+                outcome = best_insertion(state.route, request, context.oracle)
+                if not outcome.feasible:
+                    continue
+                heapq.heappush(queue, (sign * outcome.delta_cost, vehicle.vehicle_id))
+            queues[request.request_id] = queue
+
+        # -------------------- proposal / acceptance rounds -------------- #
+        # Every round pops at least one candidate vehicle from each live
+        # queue, so the natural bound is the longest queue; evictions can add
+        # a few extra rounds, hence the slack.
+        max_rounds = (self._max_candidates or len(context.vehicles)) * 2 + 10
+        for _ in range(max_rounds):
+            proposing = [
+                rid
+                for rid, queue in queues.items()
+                if queue and rid not in assigned_to
+            ]
+            if not proposing:
+                break
+            self.rounds_executed += 1
+            # Proposal phase: each unassigned request proposes to its current
+            # worst remaining candidate vehicle.  Proposals accumulate in the
+            # vehicle's pool R_wx across rounds (Algorithm 3 only removes the
+            # accepted requests from it), so later rounds can regroup earlier
+            # rejects with fresh arrivals.
+            touched: set[int] = set()
+            for rid in proposing:
+                queue = queues[rid]
+                while queue:
+                    _, vehicle_id = heapq.heappop(queue)
+                    state = states.get(vehicle_id)
+                    if state is None:
+                        continue
+                    state.proposals[rid] = pending_by_id[rid]
+                    touched.add(vehicle_id)
+                    break
+            if not touched:
+                break
+            # Acceptance phase: every vehicle with new proposals re-selects
+            # its best group among its accumulated pool plus what it already
+            # accepted.  Requests currently held by another vehicle are not
+            # poached.
+            for vehicle_id in touched:
+                state = states[vehicle_id]
+                pool = dict(state.accepted)
+                for rid, request in state.proposals.items():
+                    holder = assigned_to.get(rid)
+                    if holder is None or holder == vehicle_id:
+                        pool[rid] = request
+                if not pool:
+                    continue
+                groups = build_groups(
+                    list(pool.values()),
+                    graph,
+                    state.route,
+                    context.oracle,
+                    max_group_size=config.group_size_limit,
+                    stats=self.grouping_stats,
+                )
+                self._last_group_count = max(self._last_group_count, len(groups))
+                best = self._select_group(groups, graph)
+                if best is None:
+                    continue
+                chosen = set(best.members)
+                previously_accepted = set(state.accepted)
+                state.accepted = {rid: pool[rid] for rid in chosen}
+                state.accepted_group = best
+                for rid in chosen:
+                    assigned_to[rid] = vehicle_id
+                    state.proposals.pop(rid, None)
+                # Requests evicted from the accepted set go back to the
+                # working pool for later proposals (they keep their queues).
+                for rid in previously_accepted - chosen:
+                    if assigned_to.get(rid) == vehicle_id:
+                        assigned_to.pop(rid, None)
+
+        # -------------------- materialise assignments ------------------- #
+        assignments: list[Assignment] = []
+        for state in states.values():
+            if state.accepted_group is None or not state.accepted:
+                continue
+            assignments.append(
+                Assignment(
+                    vehicle_id=state.vehicle.vehicle_id,
+                    schedule=state.accepted_group.schedule,
+                    new_requests=tuple(state.accepted.values()),
+                )
+            )
+        # Assigned requests leave the shareability graph right away so that
+        # the next batch starts from a clean working set.
+        builder.remove([rid for rid, _ in assigned_to.items()])
+        return DispatchResult(assignments=assignments)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _effective_config(self, config: SimulationConfig) -> SimulationConfig:
+        if self._angle_override == "config":
+            return config
+        return config.with_overrides(angle_threshold=self._angle_override)
+
+    def _ensure_builder(
+        self, context: DispatchContext, config: SimulationConfig
+    ) -> DynamicShareabilityGraphBuilder:
+        if self._builder is None:
+            self._builder = DynamicShareabilityGraphBuilder(
+                network=context.network,
+                oracle=context.oracle,
+                config=config,
+                average_speed=context.average_speed,
+            )
+        return self._builder
+
+    def _select_group(self, groups, graph) -> RequestGroup | None:
+        """Pick the group with minimal residual shareability loss (Thm. IV.1).
+
+        The residual variant of Definition 6 counts only the sharing
+        opportunities destroyed among the requests left behind, so cohesive
+        cliques score low and singleton groups score their outside degree.
+        Ties are broken by the sharing ratio (planned cost over the members'
+        direct costs, lower is better) and then by preferring larger groups,
+        following Example 4 of the paper.
+        """
+        best: RequestGroup | None = None
+        best_key: tuple | None = None
+        for group in groups:
+            members = [rid for rid in group.members if rid in graph]
+            if members:
+                loss = residual_shareability_loss(graph, members)
+            else:
+                loss = 0.0
+            ratio = sharing_ratio(graph, members, group.total_cost) if members else 0.0
+            if self._prefer_larger_groups:
+                key = (-group.size, loss, ratio)
+            else:
+                key = (loss, ratio, -group.size)
+            if best_key is None or key < best_key:
+                best, best_key = group.with_loss(loss), key
+        return best

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the StructRide reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch the whole family with one ``except`` clause while still being able to
+distinguish configuration problems from infeasible-schedule conditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration value is missing, inconsistent or invalid."""
+
+
+class NetworkError(ReproError):
+    """Raised for malformed road networks (unknown nodes, negative costs, ...)."""
+
+
+class UnreachableError(NetworkError):
+    """Raised when a shortest-path query is made between disconnected nodes."""
+
+
+class ScheduleError(ReproError):
+    """Raised when a schedule violates a structural constraint."""
+
+
+class InfeasibleInsertionError(ScheduleError):
+    """Raised when a request cannot be inserted into a schedule feasibly."""
+
+
+class DispatchError(ReproError):
+    """Raised when a dispatcher receives inconsistent simulation state."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload generator cannot satisfy the requested shape."""

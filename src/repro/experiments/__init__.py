@@ -1,0 +1,23 @@
+"""Experiment harness reproducing every table and figure of the paper.
+
+* :mod:`~repro.experiments.harness` -- runs one algorithm over one workload
+  and sweeps a parameter across its paper values.
+* :mod:`~repro.experiments.figures` -- one entry point per paper artefact
+  (Figures 8-17, Tables V-VI, the insertion-order study).
+* :mod:`~repro.experiments.reporting` -- turns result rows into the text /
+  CSV tables printed by the benchmark harness.
+"""
+
+from .harness import ExperimentRunner, ResultRow, SweepResult
+from .reporting import format_rows, rows_to_csv, series_by_algorithm
+from . import figures
+
+__all__ = [
+    "ExperimentRunner",
+    "ResultRow",
+    "SweepResult",
+    "format_rows",
+    "rows_to_csv",
+    "series_by_algorithm",
+    "figures",
+]

@@ -1,0 +1,503 @@
+"""One entry point per paper artefact (Figures 8-17, Tables V-VI, studies).
+
+Every function builds scaled-down instances of the paper's experiments and
+returns structured results.  The corresponding benchmark module prints the
+same rows/series the paper reports; absolute values differ (Python simulator
+versus the authors' C++ testbed) but the comparison shape is preserved.
+
+The paper's parameter grids are exposed as ``PAPER_*`` constants; benchmark
+modules typically pass a reduced subset to keep wall-clock time reasonable.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from ..config import SimulationConfig
+from ..dispatch.sard import SARDDispatcher
+from ..insertion.kinetic_tree import KineticTreeScheduler
+from ..insertion.linear_insertion import insert_sequence
+from ..model.schedule import Schedule
+from ..model.vehicle import RouteState
+from ..shareability.angle_pruning import expected_sharing_probability, fit_lognormal
+from ..shareability.builder import DynamicShareabilityGraphBuilder
+from ..workloads.presets import Workload, make_workload
+from .harness import DEFAULT_ALGORITHMS, ExperimentRunner, ResultRow, SweepResult
+
+# --------------------------------------------------------------------------- #
+# the paper's parameter grids (Tables III and IV)
+# --------------------------------------------------------------------------- #
+PAPER_NUM_REQUESTS = (10_000, 50_000, 100_000, 150_000, 200_000, 250_000)
+PAPER_NUM_VEHICLES = (1_000, 2_000, 3_000, 4_000, 5_000)
+PAPER_CAPACITIES = (2, 3, 4, 5, 6)
+PAPER_GAMMAS = (1.2, 1.3, 1.5, 1.8, 2.0)
+PAPER_PENALTIES = (2, 5, 10, 20, 30)
+PAPER_BATCH_PERIODS = (1, 3, 5, 7, 9)
+PAPER_CAPACITY_SIGMAS = (0.0, 0.5, 1.0, 1.5, 2.0)
+
+PAPER_CAINIAO_NUM_REQUESTS = (50_000, 75_000, 100_000, 125_000, 150_000)
+PAPER_CAINIAO_NUM_VEHICLES = (3_000, 3_500, 4_000, 4_500, 5_000)
+PAPER_CAINIAO_GAMMAS = (1.8, 1.9, 2.0, 2.1, 2.2)
+PAPER_CAINIAO_BATCH_PERIODS = (3, 4, 5, 6, 7)
+
+#: Batch-mode algorithms only (Figure 13 varies the batching period).
+BATCH_ALGORITHMS = ("RTV", "GAS", "SARD")
+
+#: Default scaled-down grids used by quick benchmark runs.
+QUICK_VALUES = {
+    "num_vehicles": (1_000, 3_000, 5_000),
+    "num_requests": (10_000, 100_000, 250_000),
+    "gamma": (1.2, 1.5, 2.0),
+    "capacity": (2, 3, 6),
+    "penalty_coefficient": (2, 10, 30),
+    "batch_period": (1, 3, 9),
+    "capacity_sigma": (0.0, 1.0, 2.0),
+}
+
+
+@dataclass
+class FigureResult:
+    """Results of one figure: one sweep per dataset."""
+
+    figure: str
+    parameter: str
+    sweeps: dict[str, SweepResult] = field(default_factory=dict)
+
+    def all_rows(self) -> list[ResultRow]:
+        """Every row across datasets (used by reporting and tests)."""
+        rows: list[ResultRow] = []
+        for sweep in self.sweeps.values():
+            rows.extend(sweep.rows)
+        return rows
+
+
+def _default_runner(
+    request_fraction: float, algorithms: Sequence[str] | None
+) -> ExperimentRunner:
+    return ExperimentRunner(
+        algorithms=tuple(algorithms or DEFAULT_ALGORITHMS),
+        request_fraction=request_fraction,
+        vehicle_fraction=0.04,
+        city_scale=0.7,
+    )
+
+
+def _sweep_figure(
+    figure: str,
+    parameter: str,
+    values: Sequence[float],
+    *,
+    presets: Sequence[str],
+    request_fraction: float,
+    algorithms: Sequence[str] | None,
+    runner: ExperimentRunner | None = None,
+) -> FigureResult:
+    runner = runner or _default_runner(request_fraction, algorithms)
+    result = FigureResult(figure=figure, parameter=parameter)
+    for preset in presets:
+        result.sweeps[preset] = runner.sweep(
+            preset,
+            parameter,
+            values,
+            label=f"{figure} ({preset.upper()})",
+            algorithms=algorithms,
+        )
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Figures 8-13: the six main sweeps on CHD and NYC
+# --------------------------------------------------------------------------- #
+def figure8(
+    *,
+    values: Sequence[float] = QUICK_VALUES["num_vehicles"],
+    presets: Sequence[str] = ("chd", "nyc"),
+    request_fraction: float = 0.0025,
+    algorithms: Sequence[str] | None = None,
+    runner: ExperimentRunner | None = None,
+) -> FigureResult:
+    """Figure 8: unified cost / service rate / running time vs fleet size."""
+    return _sweep_figure(
+        "Figure 8", "num_vehicles", values,
+        presets=presets, request_fraction=request_fraction, algorithms=algorithms, runner=runner,
+    )
+
+
+def figure9(
+    *,
+    values: Sequence[float] = QUICK_VALUES["num_requests"],
+    presets: Sequence[str] = ("chd", "nyc"),
+    request_fraction: float = 0.0025,
+    algorithms: Sequence[str] | None = None,
+    runner: ExperimentRunner | None = None,
+) -> FigureResult:
+    """Figure 9: metrics vs number of requests."""
+    return _sweep_figure(
+        "Figure 9", "num_requests", values,
+        presets=presets, request_fraction=request_fraction, algorithms=algorithms, runner=runner,
+    )
+
+
+def figure10(
+    *,
+    values: Sequence[float] = QUICK_VALUES["gamma"],
+    presets: Sequence[str] = ("chd", "nyc"),
+    request_fraction: float = 0.0025,
+    algorithms: Sequence[str] | None = None,
+    runner: ExperimentRunner | None = None,
+) -> FigureResult:
+    """Figure 10: metrics vs deadline parameter gamma."""
+    return _sweep_figure(
+        "Figure 10", "gamma", values,
+        presets=presets, request_fraction=request_fraction, algorithms=algorithms, runner=runner,
+    )
+
+
+def figure11(
+    *,
+    values: Sequence[float] = QUICK_VALUES["capacity"],
+    presets: Sequence[str] = ("chd", "nyc"),
+    request_fraction: float = 0.0025,
+    algorithms: Sequence[str] | None = None,
+    runner: ExperimentRunner | None = None,
+) -> FigureResult:
+    """Figure 11: metrics vs vehicle capacity."""
+    return _sweep_figure(
+        "Figure 11", "capacity", values,
+        presets=presets, request_fraction=request_fraction, algorithms=algorithms, runner=runner,
+    )
+
+
+def figure12(
+    *,
+    values: Sequence[float] = QUICK_VALUES["penalty_coefficient"],
+    presets: Sequence[str] = ("chd", "nyc"),
+    request_fraction: float = 0.0025,
+    algorithms: Sequence[str] | None = None,
+    runner: ExperimentRunner | None = None,
+) -> FigureResult:
+    """Figure 12: metrics vs penalty coefficient."""
+    return _sweep_figure(
+        "Figure 12", "penalty_coefficient", values,
+        presets=presets, request_fraction=request_fraction, algorithms=algorithms, runner=runner,
+    )
+
+
+def figure13(
+    *,
+    values: Sequence[float] = QUICK_VALUES["batch_period"],
+    presets: Sequence[str] = ("chd", "nyc"),
+    request_fraction: float = 0.0025,
+    algorithms: Sequence[str] | None = BATCH_ALGORITHMS,
+    runner: ExperimentRunner | None = None,
+) -> FigureResult:
+    """Figure 13: batch-mode algorithms vs batching period Delta."""
+    return _sweep_figure(
+        "Figure 13", "batch_period", values,
+        presets=presets, request_fraction=request_fraction, algorithms=algorithms, runner=runner,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 14 / Appendix A: memory consumption under default parameters
+# --------------------------------------------------------------------------- #
+def figure14_memory(
+    *,
+    presets: Sequence[str] = ("chd", "nyc"),
+    request_fraction: float = 0.0025,
+    algorithms: Sequence[str] | None = None,
+    runner: ExperimentRunner | None = None,
+) -> FigureResult:
+    """Figure 14: estimated memory consumption per algorithm."""
+    runner = runner or _default_runner(request_fraction, algorithms)
+    result = FigureResult(figure="Figure 14", parameter="memory")
+    algorithms = tuple(algorithms or runner.algorithms)
+    for preset in presets:
+        sweep = runner.sweep(
+            preset,
+            "penalty_coefficient",
+            (10.0,),
+            label=f"Figure 14 ({preset.upper()})",
+            algorithms=algorithms,
+        )
+        result.sweeps[preset] = sweep
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Figure 15: the five Cainiao sweeps
+# --------------------------------------------------------------------------- #
+def figure15(
+    *,
+    request_fraction: float = 0.0025,
+    algorithms: Sequence[str] | None = (
+        "pruneGDP", "TicketAssign+", "RTV", "GAS", "SARD",
+    ),
+    runner: ExperimentRunner | None = None,
+    quick: bool = True,
+) -> dict[str, FigureResult]:
+    """Figure 15: vehicles / requests / gamma / penalty / batch period on Cainiao."""
+    runner = runner or _default_runner(request_fraction, algorithms)
+    grids = {
+        "num_vehicles": (3_000, 4_000, 5_000) if quick else PAPER_CAINIAO_NUM_VEHICLES,
+        "num_requests": (50_000, 100_000, 150_000) if quick else PAPER_CAINIAO_NUM_REQUESTS,
+        "gamma": (1.8, 2.0, 2.2) if quick else PAPER_CAINIAO_GAMMAS,
+        "penalty_coefficient": (2, 10, 30) if quick else PAPER_PENALTIES,
+        "batch_period": (3, 5, 7) if quick else PAPER_CAINIAO_BATCH_PERIODS,
+    }
+    results: dict[str, FigureResult] = {}
+    for parameter, values in grids.items():
+        results[parameter] = _sweep_figure(
+            f"Figure 15 ({parameter})", parameter, values,
+            presets=("cainiao",), request_fraction=request_fraction, algorithms=algorithms, runner=runner,
+        )
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Figures 16 and 17: capacity and capacity-variance sweeps
+# --------------------------------------------------------------------------- #
+def figure16(
+    *,
+    capacity_values: Sequence[float] = QUICK_VALUES["capacity"],
+    sigma_values: Sequence[float] = QUICK_VALUES["capacity_sigma"],
+    request_fraction: float = 0.0025,
+    algorithms: Sequence[str] | None = (
+        "pruneGDP", "TicketAssign+", "RTV", "GAS", "SARD",
+    ),
+    runner: ExperimentRunner | None = None,
+) -> dict[str, FigureResult]:
+    """Figure 16: capacity and capacity-variance sweeps on Cainiao."""
+    runner = runner or _default_runner(request_fraction, algorithms)
+    return {
+        "capacity": _sweep_figure(
+            "Figure 16 (capacity)", "capacity", capacity_values,
+            presets=("cainiao",), request_fraction=request_fraction, algorithms=algorithms, runner=runner,
+        ),
+        "capacity_sigma": _sweep_figure(
+            "Figure 16 (sigma)", "capacity_sigma", sigma_values,
+            presets=("cainiao",), request_fraction=request_fraction, algorithms=algorithms, runner=runner,
+        ),
+    }
+
+
+def figure17(
+    *,
+    values: Sequence[float] = QUICK_VALUES["capacity_sigma"],
+    presets: Sequence[str] = ("chd", "nyc"),
+    request_fraction: float = 0.0025,
+    algorithms: Sequence[str] | None = None,
+    runner: ExperimentRunner | None = None,
+) -> FigureResult:
+    """Figure 17: capacity-variance sweep on CHD and NYC."""
+    return _sweep_figure(
+        "Figure 17", "capacity_sigma", values,
+        presets=presets, request_fraction=request_fraction, algorithms=algorithms, runner=runner,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Tables V and VI: the angle pruning ablation
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PruningRow:
+    """One row of the angle-pruning ablation tables."""
+
+    dataset: str
+    method: str
+    unified_cost: float
+    service_rate: float
+    shortest_path_queries: int
+    running_time: float
+
+
+def angle_pruning_ablation(
+    *,
+    presets: Sequence[str] = ("chd", "nyc"),
+    request_fraction: float = 0.0025,
+    vehicle_fraction: float = 0.04,
+    runner: ExperimentRunner | None = None,
+) -> list[PruningRow]:
+    """Tables V/VI: SARD without pruning versus SARD-O with angle pruning."""
+    runner = runner or _default_runner(request_fraction, None)
+    rows: list[PruningRow] = []
+    for preset in presets:
+        workload = make_workload(
+            preset,
+            city_scale=runner.city_scale,
+            workload_overrides={
+                "num_requests": max(int(100_000 * request_fraction), 1),
+                "num_vehicles": max(int(3_000 * vehicle_fraction), 1),
+            },
+        )
+        for method, dispatcher in (
+            ("SARD", SARDDispatcher.without_angle_pruning()),
+            ("SARD-O", SARDDispatcher.with_angle_pruning()),
+        ):
+            run = runner.run_single(workload, method, dispatcher=dispatcher)
+            rows.append(
+                PruningRow(
+                    dataset=workload.name,
+                    method=method,
+                    unified_cost=run.metrics.unified_cost,
+                    service_rate=run.metrics.service_rate,
+                    shortest_path_queries=run.metrics.shortest_path_queries,
+                    running_time=run.metrics.dispatch_seconds,
+                )
+            )
+    return rows
+
+
+def table5_angle_pruning(
+    *, request_fraction: float = 0.0025, runner: ExperimentRunner | None = None
+):
+    """Table V: the angle-pruning ablation on the Cainiao dataset."""
+    return angle_pruning_ablation(
+        presets=("cainiao",), request_fraction=request_fraction, runner=runner
+    )
+
+
+def table6_angle_pruning(
+    *, request_fraction: float = 0.0025, runner: ExperimentRunner | None = None
+):
+    """Table VI: the angle-pruning ablation on CHD and NYC."""
+    return angle_pruning_ablation(
+        presets=("chd", "nyc"), request_fraction=request_fraction, runner=runner
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Section IV-A: shareability-ordered insertion study
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class InsertionOrderStudy:
+    """Fractions of sampled groups whose linear insertion matched the optimum."""
+
+    dataset: str
+    group_size: int
+    samples: int
+    release_order_optimal: float
+    shareability_order_optimal: float
+
+
+def insertion_order_study(
+    *,
+    preset: str = "nyc",
+    num_requests: int = 400,
+    group_sizes: Sequence[int] = (3, 4),
+    samples_per_size: int = 40,
+    seed: int = 5,
+) -> list[InsertionOrderStudy]:
+    """Reproduce the Section IV-A claim: ordering insertions by ascending
+    shareability raises the probability that linear insertion reaches the
+    optimal (kinetic-tree) schedule."""
+    workload = make_workload(
+        preset, city_scale=0.7, workload_overrides={"num_requests": num_requests}
+    )
+    oracle = workload.fresh_oracle()
+    config = workload.simulation_config.with_overrides(capacity=6)
+    builder = DynamicShareabilityGraphBuilder(
+        network=workload.network, oracle=oracle, config=config
+    )
+    builder.update(workload.requests)
+    graph = builder.graph
+    kinetic = KineticTreeScheduler(oracle)
+    rng = random.Random(seed)
+    results: list[InsertionOrderStudy] = []
+    request_by_id = {r.request_id: r for r in workload.requests}
+    for size in group_sizes:
+        release_hits = 0
+        shareability_hits = 0
+        samples = 0
+        attempts = 0
+        while samples < samples_per_size and attempts < samples_per_size * 60:
+            attempts += 1
+            seed_request = rng.choice(workload.requests)
+            clique = _sample_clique(graph, seed_request.request_id, size, rng)
+            if clique is None:
+                continue
+            requests = [request_by_id[rid] for rid in clique]
+            anchor = min(requests, key=lambda r: r.release_time)
+            route = RouteState(
+                vehicle_id=-1,
+                origin=anchor.source,
+                departure_time=anchor.release_time,
+                schedule=Schedule.empty(),
+                capacity=config.capacity,
+                onboard=0,
+            )
+            optimal = kinetic.optimal_cost(route, requests)
+            if math.isinf(optimal):
+                continue
+            by_release = sorted(requests, key=lambda r: r.release_time)
+            by_shareability = sorted(requests, key=lambda r: graph.degree(r.request_id))
+            release_outcome = insert_sequence(route, by_release, oracle)
+            shareability_outcome = insert_sequence(route, by_shareability, oracle)
+            samples += 1
+            if release_outcome.feasible and release_outcome.total_cost <= optimal + 1e-6:
+                release_hits += 1
+            if (
+                shareability_outcome.feasible
+                and shareability_outcome.total_cost <= optimal + 1e-6
+            ):
+                shareability_hits += 1
+        if samples == 0:
+            continue
+        results.append(
+            InsertionOrderStudy(
+                dataset=workload.name,
+                group_size=size,
+                samples=samples,
+                release_order_optimal=release_hits / samples,
+                shareability_order_optimal=shareability_hits / samples,
+            )
+        )
+    return results
+
+
+def _sample_clique(graph, seed_id: int, size: int, rng: random.Random) -> set[int] | None:
+    """Sample a clique of the given size containing ``seed_id`` (or ``None``)."""
+    clique = {seed_id}
+    candidates = set(graph.neighbors(seed_id))
+    while len(clique) < size:
+        if not candidates:
+            return None
+        pick = rng.choice(sorted(candidates))
+        clique.add(pick)
+        candidates &= graph.neighbors(pick)
+        candidates -= clique
+    return clique
+
+
+# --------------------------------------------------------------------------- #
+# Section III-B: expected sharing probability at the pruning threshold
+# --------------------------------------------------------------------------- #
+def angle_expectation_study(
+    *,
+    preset: str = "nyc",
+    num_requests: int = 600,
+    theta: float = math.pi / 2.0,
+    gamma: float = 1.5,
+) -> dict[str, float]:
+    """Fit the trip-length log-normal of a workload and evaluate E(theta >= delta).
+
+    The paper reports roughly 41% for both datasets at ``theta = pi/2`` and
+    ``gamma = 1.5``.
+    """
+    workload = make_workload(
+        preset, city_scale=0.7, workload_overrides={"num_requests": num_requests}
+    )
+    distances = [request.direct_cost for request in workload.requests]
+    mu, sigma = fit_lognormal(distances)
+    probability = expected_sharing_probability(mu, sigma, theta, gamma)
+    return {
+        "dataset": workload.name,
+        "mu": mu,
+        "sigma": sigma,
+        "theta": theta,
+        "gamma": gamma,
+        "expected_probability": probability,
+    }

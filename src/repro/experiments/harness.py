@@ -1,0 +1,260 @@
+"""Parameter-sweep harness used by every figure and table reproduction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
+
+from ..config import SimulationConfig
+from ..dispatch import make_dispatcher
+from ..dispatch.base import Dispatcher
+from ..exceptions import ConfigurationError
+from ..simulation.engine import SimulationResult, Simulator
+from ..workloads.presets import Workload, make_workload
+
+#: Default algorithm line-up of the paper's main figures.
+DEFAULT_ALGORITHMS: tuple[str, ...] = (
+    "pruneGDP",
+    "TicketAssign+",
+    "DARM+DPRS",
+    "RTV",
+    "GAS",
+    "SARD",
+)
+
+#: Sweep parameters that change the simulation configuration.
+_SIMULATION_PARAMETERS = {
+    "gamma",
+    "capacity",
+    "penalty_coefficient",
+    "batch_period",
+    "angle_threshold",
+}
+#: Sweep parameters that change the workload shape.
+_WORKLOAD_PARAMETERS = {"num_requests", "num_vehicles", "capacity_sigma"}
+
+#: The paper's default request / fleet sizes (Tables III and IV).  Sweep
+#: values and defaults are expressed in these units and mapped to laptop
+#: scale through the runner's ``request_fraction`` / ``vehicle_fraction``.
+PAPER_DEFAULT_REQUESTS = {"chd": 100_000, "nyc": 100_000, "cainiao": 100_000}
+PAPER_DEFAULT_VEHICLES = {"chd": 3_000, "nyc": 3_000, "cainiao": 4_000}
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One (algorithm, parameter value) cell of a figure."""
+
+    dataset: str
+    algorithm: str
+    parameter: str
+    value: float
+    unified_cost: float
+    service_rate: float
+    running_time: float
+    shortest_path_queries: int
+    peak_memory_bytes: int
+    assigned_requests: int
+    total_requests: int
+
+    def metric(self, name: str) -> float:
+        """Access a metric by the names used in the paper's figures."""
+        mapping = {
+            "unified_cost": self.unified_cost,
+            "service_rate": self.service_rate,
+            "running_time": self.running_time,
+            "shortest_path_queries": float(self.shortest_path_queries),
+            "memory": float(self.peak_memory_bytes),
+        }
+        try:
+            return mapping[name]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown metric {name!r}") from exc
+
+
+@dataclass
+class SweepResult:
+    """All rows of one parameter sweep (one figure column)."""
+
+    label: str
+    parameter: str
+    rows: list[ResultRow] = field(default_factory=list)
+
+    def algorithms(self) -> list[str]:
+        """Distinct algorithm names in insertion order."""
+        seen: dict[str, None] = {}
+        for row in self.rows:
+            seen.setdefault(row.algorithm, None)
+        return list(seen)
+
+    def values(self) -> list[float]:
+        """Distinct parameter values in ascending order."""
+        return sorted({row.value for row in self.rows})
+
+    def series(self, metric: str) -> dict[str, list[tuple[float, float]]]:
+        """Per-algorithm ``(value, metric)`` series, as plotted in the paper."""
+        result: dict[str, list[tuple[float, float]]] = {}
+        for row in sorted(self.rows, key=lambda r: r.value):
+            result.setdefault(row.algorithm, []).append((row.value, row.metric(metric)))
+        return result
+
+    def row_for(self, algorithm: str, value: float) -> ResultRow:
+        """The row of one (algorithm, value) cell."""
+        for row in self.rows:
+            if row.algorithm == algorithm and row.value == value:
+                return row
+        raise KeyError(f"no row for ({algorithm}, {value})")
+
+    def extend(self, other: "SweepResult") -> None:
+        """Append another sweep's rows (used to combine datasets)."""
+        self.rows.extend(other.rows)
+
+
+class ExperimentRunner:
+    """Builds workloads, instantiates dispatchers and runs simulations."""
+
+    def __init__(
+        self,
+        *,
+        algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+        request_fraction: float = 0.0025,
+        vehicle_fraction: float = 0.04,
+        city_scale: float = 0.7,
+        dispatcher_factory=None,
+    ) -> None:
+        if request_fraction <= 0 or vehicle_fraction <= 0 or city_scale <= 0:
+            raise ConfigurationError(
+                "request_fraction, vehicle_fraction and city_scale must be positive"
+            )
+        self.algorithms = tuple(algorithms)
+        #: Fraction of the paper's request count a sweep value is scaled by
+        #: (0.0025 turns the paper's default 100K requests into 250).
+        self.request_fraction = request_fraction
+        #: Fraction of the paper's fleet size (0.04 turns 3K vehicles into 120).
+        self.vehicle_fraction = vehicle_fraction
+        self.city_scale = city_scale
+        self._dispatcher_factory = dispatcher_factory or make_dispatcher
+
+    # ------------------------------------------------------------------ #
+    def run_single(
+        self,
+        workload: Workload,
+        algorithm: str,
+        *,
+        simulation_config: SimulationConfig | None = None,
+        dispatcher: Dispatcher | None = None,
+    ) -> SimulationResult:
+        """Run one algorithm over one workload and return the raw result."""
+        config = simulation_config or workload.simulation_config
+        dispatcher = dispatcher or self._dispatcher_factory(algorithm)
+        simulator = Simulator(
+            network=workload.network,
+            oracle=workload.fresh_oracle(),
+            vehicles=workload.fresh_vehicles(),
+            requests=list(workload.requests),
+            dispatcher=dispatcher,
+            config=config,
+            record_events=False,
+        )
+        return simulator.run()
+
+    # ------------------------------------------------------------------ #
+    def sweep(
+        self,
+        preset: str,
+        parameter: str,
+        values: Iterable[float],
+        *,
+        label: str | None = None,
+        algorithms: Sequence[str] | None = None,
+        workload_overrides: dict | None = None,
+        simulation_overrides: dict | None = None,
+    ) -> SweepResult:
+        """Sweep one parameter over its values for every algorithm.
+
+        ``parameter`` may be a simulation knob (``gamma``, ``capacity``,
+        ``penalty_coefficient``, ``batch_period``, ``angle_threshold``) or a
+        workload knob (``num_requests``, ``num_vehicles``,
+        ``capacity_sigma``).  The workload is regenerated for every value so
+        that deadline- or size-dependent properties are consistent.
+        """
+        algorithms = tuple(algorithms or self.algorithms)
+        label = label or f"{preset}:{parameter}"
+        result = SweepResult(label=label, parameter=parameter)
+        for value in values:
+            workload = self._build_workload(
+                preset,
+                parameter,
+                value,
+                workload_overrides=workload_overrides,
+                simulation_overrides=simulation_overrides,
+            )
+            for algorithm in algorithms:
+                run = self.run_single(workload, algorithm)
+                result.rows.append(self._to_row(workload, algorithm, parameter, value, run))
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _build_workload(
+        self,
+        preset: str,
+        parameter: str,
+        value: float,
+        *,
+        workload_overrides: dict | None,
+        simulation_overrides: dict | None,
+    ) -> Workload:
+        workload_overrides = dict(workload_overrides or {})
+        simulation_overrides = dict(simulation_overrides or {})
+        # Every instance uses the paper's default request/fleet sizes scaled
+        # by the runner's fractions; the swept parameter then overrides the
+        # matching knob.
+        paper_requests = PAPER_DEFAULT_REQUESTS.get(preset.lower(), 100_000)
+        paper_vehicles = PAPER_DEFAULT_VEHICLES.get(preset.lower(), 3_000)
+        if parameter == "num_requests":
+            paper_requests = value
+        if parameter == "num_vehicles":
+            paper_vehicles = value
+        workload_overrides.setdefault(
+            "num_requests", max(int(round(paper_requests * self.request_fraction)), 1)
+        )
+        workload_overrides.setdefault(
+            "num_vehicles", max(int(round(paper_vehicles * self.vehicle_fraction)), 1)
+        )
+        if parameter in _SIMULATION_PARAMETERS:
+            if parameter == "capacity":
+                simulation_overrides[parameter] = int(value)
+            else:
+                simulation_overrides[parameter] = value
+        elif parameter == "capacity_sigma":
+            workload_overrides[parameter] = value
+        elif parameter not in _WORKLOAD_PARAMETERS:
+            raise ConfigurationError(f"unknown sweep parameter {parameter!r}")
+        return make_workload(
+            preset,
+            city_scale=self.city_scale,
+            workload_overrides=workload_overrides,
+            simulation_overrides=simulation_overrides,
+        )
+
+    def _to_row(
+        self,
+        workload: Workload,
+        algorithm: str,
+        parameter: str,
+        value: float,
+        run: SimulationResult,
+    ) -> ResultRow:
+        metrics = run.metrics
+        return ResultRow(
+            dataset=workload.name,
+            algorithm=algorithm,
+            parameter=parameter,
+            value=float(value),
+            unified_cost=metrics.unified_cost,
+            service_rate=metrics.service_rate,
+            running_time=metrics.dispatch_seconds,
+            shortest_path_queries=metrics.shortest_path_queries,
+            peak_memory_bytes=metrics.peak_memory_bytes,
+            assigned_requests=metrics.assigned_requests,
+            total_requests=metrics.total_requests,
+        )

@@ -1,0 +1,18 @@
+"""Request grouping: the modified additive tree of Algorithm 2.
+
+Batch-mode dispatchers enumerate feasible *groups* of requests before
+assignment.  The additive tree (Zeng et al. [33]) enumerates groups level by
+level -- every valid group of size ``l`` extends a valid group of size
+``l - 1`` by one request.  StructRide modifies the tree in two ways:
+
+* only groups forming a clique in the shareability graph are considered
+  (Observation 2 / Lemma IV.1), and
+* each tree node keeps a single schedule, built by inserting the group's
+  highest-shareability member into its parent's schedule, instead of every
+  feasible schedule.
+"""
+
+from .group import RequestGroup
+from .additive_tree import build_groups, GroupingStatistics
+
+__all__ = ["RequestGroup", "build_groups", "GroupingStatistics"]

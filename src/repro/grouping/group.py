@@ -1,0 +1,56 @@
+"""Request groups: the unit of acceptance for batch-mode dispatchers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..model.request import Request
+from ..model.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class RequestGroup:
+    """A set of requests together with a feasible schedule serving them all.
+
+    ``delta_cost`` is the increase in travel time over the vehicle's current
+    schedule (the group is always evaluated against a specific vehicle's
+    route state); ``total_cost`` is the travel time of the full new schedule.
+    """
+
+    members: frozenset[int]
+    requests: tuple[Request, ...]
+    schedule: Schedule
+    delta_cost: float
+    total_cost: float
+    #: Shareability loss of the group; filled lazily by SARD's acceptance phase.
+    loss: float | None = field(default=None, compare=False)
+
+    @property
+    def size(self) -> int:
+        """Number of requests in the group."""
+        return len(self.members)
+
+    @property
+    def riders(self) -> int:
+        """Total riders carried by the group."""
+        return sum(request.riders for request in self.requests)
+
+    @property
+    def direct_cost(self) -> float:
+        """Sum of the members' direct travel costs (the GAS profit measure)."""
+        return sum(request.direct_cost for request in self.requests)
+
+    def with_loss(self, loss: float) -> "RequestGroup":
+        """Return a copy of the group with the shareability loss filled in."""
+        return RequestGroup(
+            members=self.members,
+            requests=self.requests,
+            schedule=self.schedule,
+            delta_cost=self.delta_cost,
+            total_cost=self.total_cost,
+            loss=loss,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        ids = ",".join(str(rid) for rid in sorted(self.members))
+        return f"RequestGroup({{{ids}}}, delta={self.delta_cost:.1f})"

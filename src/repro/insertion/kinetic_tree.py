@@ -1,0 +1,167 @@
+"""Kinetic-tree style exhaustive scheduling (the exact reference operator).
+
+Huang et al. [7] maintain every feasible stop ordering of a vehicle in a
+"kinetic tree" so that inserting a new request always yields the globally
+optimal schedule.  This module provides the same capability through a
+depth-first branch-and-bound over stop orderings.  It is exponential in the
+number of stops, which is exactly the trade-off the paper discusses; the
+reproduction uses it as the exact baseline in tests and in the
+insertion-order study (Section IV-A), never on large instances.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from ..model.request import Request
+from ..model.schedule import Schedule, Waypoint, WaypointKind
+from ..model.vehicle import RouteState
+from ..network.shortest_path import DistanceOracle
+
+
+class KineticTreeScheduler:
+    """Exhaustive optimal scheduler over the stops of a vehicle.
+
+    Parameters
+    ----------
+    oracle:
+        The shortest-path oracle used to evaluate leg costs.
+    max_stops:
+        Safety limit on the number of stops enumerated; beyond this the
+        search refuses to run (the caller should fall back to linear
+        insertion), mirroring the ``(2m)!/2^m`` blow-up the paper points out.
+    """
+
+    def __init__(self, oracle: DistanceOracle, *, max_stops: int = 14) -> None:
+        self._oracle = oracle
+        self._max_stops = max_stops
+
+    def optimal_schedule(
+        self,
+        route: RouteState,
+        new_requests: Sequence[Request],
+    ) -> Schedule | None:
+        """Best feasible ordering of the route's stops plus ``new_requests``.
+
+        Existing stops may be reordered freely (subject to pick-up before
+        drop-off); stops of onboard requests (drop-off only) can be placed
+        anywhere.  Returns ``None`` when no feasible ordering exists.
+        """
+        pending: list[Waypoint] = list(route.schedule.waypoints)
+        for request in new_requests:
+            pending.append(Waypoint(request, WaypointKind.PICKUP))
+            pending.append(Waypoint(request, WaypointKind.DROPOFF))
+        if len(pending) > self._max_stops:
+            raise ValueError(
+                f"kinetic-tree search limited to {self._max_stops} stops, "
+                f"got {len(pending)}"
+            )
+        if not pending:
+            return Schedule.empty()
+
+        # When the vehicle has committed to its next stop, that stop stays first.
+        committed: list[Waypoint] = []
+        if route.min_insert_position > 0 and route.schedule:
+            committed = [route.schedule[0]]
+            pending.remove(route.schedule[0])
+
+        oracle = self._oracle
+        best_cost = math.inf
+        best_order: list[Waypoint] | None = None
+
+        # Requests whose pick-up is in the pending set must be picked before
+        # their drop-off; drop-offs without a pick-up belong to onboard riders.
+        pickup_pending = {
+            wp.request.request_id for wp in pending if wp.kind is WaypointKind.PICKUP
+        }
+
+        def recurse(
+            order: list[Waypoint],
+            remaining: list[Waypoint],
+            node: int,
+            clock: float,
+            load: int,
+            cost: float,
+            picked: set[int],
+        ) -> None:
+            nonlocal best_cost, best_order
+            if cost >= best_cost:
+                return
+            if not remaining:
+                best_cost = cost
+                best_order = list(order)
+                return
+            for index, wp in enumerate(remaining):
+                rid = wp.request.request_id
+                if (
+                    wp.kind is WaypointKind.DROPOFF
+                    and rid in pickup_pending
+                    and rid not in picked
+                ):
+                    continue
+                leg = oracle.cost(node, wp.node)
+                if math.isinf(leg):
+                    continue
+                arrival = max(clock + leg, wp.earliest_service)
+                if arrival > wp.deadline + 1e-9:
+                    continue
+                new_load = load + wp.load_delta
+                if new_load > route.capacity or new_load < 0:
+                    continue
+                next_picked = picked | {rid} if wp.kind is WaypointKind.PICKUP else picked
+                order.append(wp)
+                recurse(
+                    order,
+                    remaining[:index] + remaining[index + 1:],
+                    wp.node,
+                    arrival,
+                    new_load,
+                    cost + leg,
+                    next_picked,
+                )
+                order.pop()
+
+        # Prime the search with the committed stop (if any) already serviced.
+        start_node = route.origin
+        start_clock = route.departure_time
+        start_load = route.onboard
+        start_cost = 0.0
+        prefix: list[Waypoint] = []
+        picked_prefix: set[int] = set()
+        feasible_prefix = True
+        for wp in committed:
+            leg = oracle.cost(start_node, wp.node)
+            arrival = max(start_clock + leg, wp.earliest_service)
+            if math.isinf(leg) or arrival > wp.deadline + 1e-9:
+                feasible_prefix = False
+                break
+            start_cost += leg
+            start_clock = arrival
+            start_node = wp.node
+            start_load += wp.load_delta
+            if start_load > route.capacity or start_load < 0:
+                feasible_prefix = False
+                break
+            prefix.append(wp)
+            if wp.kind is WaypointKind.PICKUP:
+                picked_prefix.add(wp.request.request_id)
+        if not feasible_prefix:
+            return None
+
+        recurse(prefix, pending, start_node, start_clock, start_load,
+                start_cost, picked_prefix)
+        if best_order is None:
+            return None
+        return Schedule(best_order)
+
+    def optimal_cost(
+        self,
+        route: RouteState,
+        new_requests: Sequence[Request],
+    ) -> float:
+        """Travel cost of the optimal schedule, or ``inf`` when infeasible."""
+        schedule = self.optimal_schedule(route, new_requests)
+        if schedule is None:
+            return math.inf
+        return schedule.travel_cost(self._oracle, route.origin)

@@ -1,0 +1,142 @@
+"""Linear insertion: add a request to a schedule without reordering it.
+
+This is the operator of Tong et al. [37] that the paper adopts for schedule
+maintenance: try every pair of positions for the new pick-up and drop-off,
+keep the relative order of the existing stops, and return the feasible
+placement with the smallest increase in total travel cost.  The operator is
+optimal for a schedule of at most one existing request and a good local
+heuristic beyond that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+from ..model.request import Request
+from ..model.schedule import Schedule
+from ..model.vehicle import RouteState
+from ..network.shortest_path import DistanceOracle
+
+
+@dataclass(frozen=True)
+class InsertionOutcome:
+    """Result of attempting to insert a request into a route.
+
+    ``delta_cost`` is the increase in total travel time over the route's
+    current schedule; it is ``math.inf`` when no feasible placement exists.
+    """
+
+    feasible: bool
+    delta_cost: float
+    schedule: Schedule
+    pickup_position: int = -1
+    dropoff_position: int = -1
+    total_cost: float = math.inf
+
+    @classmethod
+    def infeasible(cls, schedule: Schedule) -> "InsertionOutcome":
+        """The canonical "no feasible placement" outcome."""
+        return cls(False, math.inf, schedule)
+
+
+def base_route_cost(route: RouteState, oracle: DistanceOracle) -> float:
+    """Travel cost of the route's current schedule from its origin."""
+    return route.schedule.travel_cost(oracle, route.origin)
+
+
+def best_insertion(
+    route: RouteState,
+    request: Request,
+    oracle: DistanceOracle,
+) -> InsertionOutcome:
+    """Find the cheapest feasible insertion of ``request`` into ``route``.
+
+    Every pair of positions ``(i, j)`` with ``i <= j`` is evaluated, where
+    ``i`` is the index of the pick-up in the current schedule and the
+    drop-off follows at index ``j`` of the extended schedule.  Positions
+    before ``route.min_insert_position`` are skipped because the vehicle has
+    already committed to its next stop.
+    """
+    schedule = route.schedule
+    n = len(schedule)
+    # Quick rejection: even the direct drive to the pick-up is too late.
+    direct_pickup = route.departure_time + oracle.cost(route.origin, request.source)
+    if n == 0 and direct_pickup > request.latest_pickup + 1e-9:
+        return InsertionOutcome.infeasible(schedule)
+
+    base_cost = base_route_cost(route, oracle)
+    best: InsertionOutcome = InsertionOutcome.infeasible(schedule)
+    start = route.min_insert_position
+    for pickup_pos in range(start, n + 1):
+        for dropoff_pos in range(pickup_pos + 1, n + 2):
+            candidate = schedule.with_insertion(request, pickup_pos, dropoff_pos)
+            evaluation = candidate.evaluate(
+                oracle,
+                route.origin,
+                route.departure_time,
+                capacity=route.capacity,
+                initial_load=route.onboard,
+            )
+            if not evaluation.feasible:
+                continue
+            delta = evaluation.travel_cost - base_cost
+            if delta < best.delta_cost - 1e-12:
+                best = InsertionOutcome(
+                    feasible=True,
+                    delta_cost=delta,
+                    schedule=candidate,
+                    pickup_position=pickup_pos,
+                    dropoff_position=dropoff_pos,
+                    total_cost=evaluation.travel_cost,
+                )
+    return best
+
+
+def insert_sequence(
+    route: RouteState,
+    requests: Iterable[Request],
+    oracle: DistanceOracle,
+) -> InsertionOutcome:
+    """Insert several requests one by one with linear insertion.
+
+    The requests are processed in the given order; each one is inserted into
+    the schedule produced by the previous insertions.  Returns the combined
+    outcome: infeasible as soon as any single insertion fails.  This is the
+    primitive used by the grouping algorithm, which orders the sequence by
+    ascending shareability (Section IV-A).
+    """
+    current = route
+    total_delta = 0.0
+    last_schedule = route.schedule
+    any_inserted = False
+    for request in requests:
+        outcome = best_insertion(current, request, oracle)
+        if not outcome.feasible:
+            return InsertionOutcome.infeasible(route.schedule)
+        total_delta += outcome.delta_cost
+        last_schedule = outcome.schedule
+        any_inserted = True
+        current = RouteState(
+            vehicle_id=route.vehicle_id,
+            origin=route.origin,
+            departure_time=route.departure_time,
+            schedule=outcome.schedule,
+            capacity=route.capacity,
+            onboard=route.onboard,
+            min_insert_position=route.min_insert_position,
+        )
+    if not any_inserted:
+        return InsertionOutcome(
+            feasible=True,
+            delta_cost=0.0,
+            schedule=route.schedule,
+            total_cost=base_route_cost(route, oracle),
+        )
+    return InsertionOutcome(
+        feasible=True,
+        delta_cost=total_delta,
+        schedule=last_schedule,
+        total_cost=base_route_cost(route, oracle) + total_delta,
+    )

@@ -1,0 +1,32 @@
+"""Core ridesharing data model: requests, vehicles, schedules and batches.
+
+These classes implement Definitions 1-4 of the paper:
+
+* :class:`~repro.model.request.Request` -- a ride request (Definition 1)
+  with its release time, deadline and rider count.
+* :class:`~repro.model.schedule.Schedule` -- an ordered list of pick-up /
+  drop-off way-points (Definition 2) with the coverage, order, capacity and
+  deadline feasibility checks, plus buffer times (Definition 3).
+* :class:`~repro.model.vehicle.Vehicle` -- a capacitated vehicle that moves
+  along its schedule as simulated time advances.
+* :class:`~repro.model.batch.BatchStream` -- partitions dynamically arriving
+  requests into batches of length ``Delta`` (the Batched Dynamic Ridesharing
+  Problem of Definition 4).
+"""
+
+from .request import Request
+from .schedule import Schedule, Waypoint, WaypointKind, ScheduleEvaluation
+from .vehicle import Vehicle, RouteState
+from .batch import Batch, BatchStream
+
+__all__ = [
+    "Request",
+    "Schedule",
+    "Waypoint",
+    "WaypointKind",
+    "ScheduleEvaluation",
+    "Vehicle",
+    "RouteState",
+    "Batch",
+    "BatchStream",
+]

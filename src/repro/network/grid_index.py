@@ -1,0 +1,201 @@
+"""Uniform grid spatial index (the paper's n x n grid index).
+
+StructRide partitions the road network into ``n x n`` square cells so that
+moving vehicles can be re-indexed in constant time and so that candidate
+vehicles / requests around a location can be retrieved with a range query.
+The same structure backs two different uses in this reproduction:
+
+* indexing vehicles by their current node (updated as the simulator moves
+  them), and
+* indexing the source nodes of pending requests inside the shareability
+  graph builder (Algorithm 1, line 4).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+
+from ..exceptions import NetworkError
+from .road_network import RoadNetwork
+
+
+class GridIndex:
+    """A uniform grid over a planar bounding box storing point objects.
+
+    Objects are identified by hashable keys and have an ``(x, y)`` position.
+    Insertion, removal and movement are O(1); range queries touch only the
+    cells overlapping the query disk.
+    """
+
+    def __init__(
+        self,
+        bounds: tuple[float, float, float, float],
+        cells_per_axis: int = 32,
+    ) -> None:
+        min_x, min_y, max_x, max_y = bounds
+        if max_x <= min_x or max_y <= min_y:
+            raise NetworkError("grid bounds must have positive extent")
+        if cells_per_axis < 1:
+            raise NetworkError("cells_per_axis must be at least 1")
+        self._min_x = float(min_x)
+        self._min_y = float(min_y)
+        self._max_x = float(max_x)
+        self._max_y = float(max_y)
+        self._cells_per_axis = int(cells_per_axis)
+        self._cell_width = (self._max_x - self._min_x) / cells_per_axis
+        self._cell_height = (self._max_y - self._min_y) / cells_per_axis
+        self._cells: dict[tuple[int, int], set] = {}
+        self._positions: dict[object, tuple[float, float]] = {}
+
+    @classmethod
+    def for_network(cls, network: RoadNetwork, cells_per_axis: int = 32) -> "GridIndex":
+        """Create an index covering the bounding box of ``network``."""
+        min_x, min_y, max_x, max_y = network.bounding_box()
+        # Pad degenerate boxes so a single-node network still indexes.
+        if max_x - min_x <= 0:
+            max_x = min_x + 1.0
+        if max_y - min_y <= 0:
+            max_y = min_y + 1.0
+        return cls((min_x, min_y, max_x, max_y), cells_per_axis)
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def insert(self, key, x: float, y: float) -> None:
+        """Insert (or move) ``key`` at position ``(x, y)``."""
+        if key in self._positions:
+            self.remove(key)
+        cell = self._cell_of(x, y)
+        self._cells.setdefault(cell, set()).add(key)
+        self._positions[key] = (float(x), float(y))
+
+    def remove(self, key) -> None:
+        """Remove ``key`` from the index; missing keys are ignored."""
+        position = self._positions.pop(key, None)
+        if position is None:
+            return
+        cell = self._cell_of(*position)
+        members = self._cells.get(cell)
+        if members is not None:
+            members.discard(key)
+            if not members:
+                del self._cells[cell]
+
+    def move(self, key, x: float, y: float) -> None:
+        """Update the position of ``key`` (inserting it if absent)."""
+        self.insert(key, x, y)
+
+    def clear(self) -> None:
+        """Remove every object."""
+        self._cells.clear()
+        self._positions.clear()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, key) -> bool:
+        return key in self._positions
+
+    def position(self, key) -> tuple[float, float]:
+        """Stored position of ``key``."""
+        try:
+            return self._positions[key]
+        except KeyError as exc:
+            raise NetworkError(f"key {key!r} is not in the grid index") from exc
+
+    def keys(self) -> Iterator:
+        """Iterate over all indexed keys."""
+        return iter(self._positions)
+
+    def query_radius(self, x: float, y: float, radius: float) -> list:
+        """All keys within Euclidean distance ``radius`` of ``(x, y)``."""
+        if radius < 0:
+            raise NetworkError("radius must be non-negative")
+        results = []
+        radius_sq = radius * radius
+        for cell in self._cells_overlapping(x, y, radius):
+            for key in self._cells.get(cell, ()):
+                px, py = self._positions[key]
+                if (px - x) ** 2 + (py - y) ** 2 <= radius_sq:
+                    results.append(key)
+        return results
+
+    def query_rectangle(
+        self, min_x: float, min_y: float, max_x: float, max_y: float
+    ) -> list:
+        """All keys inside the axis-aligned rectangle (inclusive bounds)."""
+        results = []
+        lo = self._cell_of(min_x, min_y)
+        hi = self._cell_of(max_x, max_y)
+        for cx in range(lo[0], hi[0] + 1):
+            for cy in range(lo[1], hi[1] + 1):
+                for key in self._cells.get((cx, cy), ()):
+                    px, py = self._positions[key]
+                    if min_x <= px <= max_x and min_y <= py <= max_y:
+                        results.append(key)
+        return results
+
+    def nearest(self, x: float, y: float, *, max_radius: float | None = None):
+        """Key closest to ``(x, y)`` or ``None`` if the index is empty.
+
+        The search expands ring by ring, so it touches few cells when the
+        index is dense around the query point.
+        """
+        if not self._positions:
+            return None
+        max_extent = max(self._max_x - self._min_x, self._max_y - self._min_y)
+        limit = max_radius if max_radius is not None else max_extent * 2
+        radius = max(self._cell_width, self._cell_height)
+        best_key, best_dist = None, math.inf
+        while radius <= limit * 2:
+            for key in self.query_radius(x, y, radius):
+                px, py = self._positions[key]
+                dist = math.hypot(px - x, py - y)
+                if dist < best_dist:
+                    best_key, best_dist = key, dist
+            if best_key is not None and best_dist <= radius:
+                return best_key
+            radius *= 2
+        return best_key
+
+    def cell_counts(self) -> dict[tuple[int, int], int]:
+        """Number of objects per non-empty cell (used by the DARM heuristic)."""
+        return {cell: len(members) for cell, members in self._cells.items() if members}
+
+    def cell_of_point(self, x: float, y: float) -> tuple[int, int]:
+        """Cell coordinates containing ``(x, y)`` (clamped to the grid)."""
+        return self._cell_of(x, y)
+
+    def cell_center(self, cell: tuple[int, int]) -> tuple[float, float]:
+        """Planar coordinates of the center of ``cell``."""
+        cx, cy = cell
+        x = self._min_x + (cx + 0.5) * self._cell_width
+        y = self._min_y + (cy + 0.5) * self._cell_height
+        return x, y
+
+    def estimated_memory_bytes(self) -> int:
+        """Rough memory footprint (for the memory study)."""
+        return 120 * len(self._positions) + 80 * len(self._cells)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
+        cx = int((x - self._min_x) / self._cell_width)
+        cy = int((y - self._min_y) / self._cell_height)
+        cx = min(max(cx, 0), self._cells_per_axis - 1)
+        cy = min(max(cy, 0), self._cells_per_axis - 1)
+        return cx, cy
+
+    def _cells_overlapping(
+        self, x: float, y: float, radius: float
+    ) -> Iterable[tuple[int, int]]:
+        lo = self._cell_of(x - radius, y - radius)
+        hi = self._cell_of(x + radius, y + radius)
+        for cx in range(lo[0], hi[0] + 1):
+            for cy in range(lo[1], hi[1] + 1):
+                yield cx, cy

@@ -1,0 +1,215 @@
+"""Directed weighted road-network graph with planar coordinates.
+
+The network is the substrate every other subsystem queries: edge weights are
+average travel times in seconds (the paper's ``cost(u, v)``), and node
+coordinates are used by the grid index and by the angle-pruning rule of the
+shareability-graph builder.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+
+from ..exceptions import NetworkError
+
+
+class RoadNetwork:
+    """A directed, weighted road graph with 2-D node coordinates.
+
+    Nodes are integer identifiers with an ``(x, y)`` position expressed in
+    meters (any planar unit works as long as it is consistent).  Edges carry
+    a positive travel time in seconds.
+
+    The class is intentionally a thin adjacency structure: all routing
+    intelligence lives in :class:`~repro.network.shortest_path.DistanceOracle`.
+    """
+
+    def __init__(self) -> None:
+        self._positions: dict[int, tuple[float, float]] = {}
+        self._adjacency: dict[int, dict[int, float]] = {}
+        self._reverse: dict[int, dict[int, float]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: int, x: float, y: float) -> None:
+        """Add (or move) a node with planar coordinates ``(x, y)``."""
+        if node in self._positions:
+            self._positions[node] = (float(x), float(y))
+            return
+        self._positions[node] = (float(x), float(y))
+        self._adjacency[node] = {}
+        self._reverse[node] = {}
+
+    def add_edge(
+        self, u: int, v: int, cost: float, *, bidirectional: bool = False
+    ) -> None:
+        """Add a directed edge ``u -> v`` with a positive travel time.
+
+        With ``bidirectional=True`` the reverse edge ``v -> u`` is added with
+        the same cost.
+        """
+        if u not in self._positions or v not in self._positions:
+            raise NetworkError(f"both endpoints must exist before adding edge ({u}, {v})")
+        if cost < 0:
+            raise NetworkError(f"edge ({u}, {v}) has negative cost {cost}")
+        if u == v:
+            raise NetworkError(f"self-loop edges are not allowed (node {u})")
+        if v not in self._adjacency[u]:
+            self._num_edges += 1
+        self._adjacency[u][v] = float(cost)
+        self._reverse[v][u] = float(cost)
+        if bidirectional:
+            self.add_edge(v, u, cost, bidirectional=False)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the network."""
+        return len(self._positions)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges in the network."""
+        return self._num_edges
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over node identifiers."""
+        return iter(self._positions)
+
+    def has_node(self, node: int) -> bool:
+        """Return ``True`` if the node exists."""
+        return node in self._positions
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` if the directed edge ``u -> v`` exists."""
+        return u in self._adjacency and v in self._adjacency[u]
+
+    def edge_cost(self, u: int, v: int) -> float:
+        """Travel time of the directed edge ``u -> v``."""
+        try:
+            return self._adjacency[u][v]
+        except KeyError as exc:
+            raise NetworkError(f"no edge between {u} and {v}") from exc
+
+    def neighbors(self, node: int) -> Iterator[tuple[int, float]]:
+        """Iterate over ``(successor, cost)`` pairs of ``node``."""
+        try:
+            adjacency = self._adjacency[node]
+        except KeyError as exc:
+            raise NetworkError(f"unknown node {node}") from exc
+        return iter(adjacency.items())
+
+    def predecessors(self, node: int) -> Iterator[tuple[int, float]]:
+        """Iterate over ``(predecessor, cost)`` pairs of ``node``."""
+        try:
+            reverse = self._reverse[node]
+        except KeyError as exc:
+            raise NetworkError(f"unknown node {node}") from exc
+        return iter(reverse.items())
+
+    def out_degree(self, node: int) -> int:
+        """Number of outgoing edges of ``node``."""
+        if node not in self._adjacency:
+            raise NetworkError(f"unknown node {node}")
+        return len(self._adjacency[node])
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate over ``(u, v, cost)`` triples of every directed edge."""
+        for u, adjacency in self._adjacency.items():
+            for v, cost in adjacency.items():
+                yield u, v, cost
+
+    def position(self, node: int) -> tuple[float, float]:
+        """Planar coordinates of ``node``."""
+        try:
+            return self._positions[node]
+        except KeyError as exc:
+            raise NetworkError(f"unknown node {node}") from exc
+
+    def euclidean(self, u: int, v: int) -> float:
+        """Straight-line distance between two nodes, in coordinate units."""
+        ux, uy = self.position(u)
+        vx, vy = self.position(v)
+        return math.hypot(ux - vx, uy - vy)
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """Return ``(min_x, min_y, max_x, max_y)`` over all node positions."""
+        if not self._positions:
+            raise NetworkError("bounding box of an empty network is undefined")
+        xs = [p[0] for p in self._positions.values()]
+        ys = [p[1] for p in self._positions.values()]
+        return min(xs), min(ys), max(xs), max(ys)
+
+    def nearest_node(self, x: float, y: float) -> int:
+        """Node whose coordinates are closest to ``(x, y)`` (linear scan)."""
+        if not self._positions:
+            raise NetworkError("nearest_node on an empty network is undefined")
+        best_node = -1
+        best_dist = math.inf
+        for node, (nx, ny) in self._positions.items():
+            dist = (nx - x) ** 2 + (ny - y) ** 2
+            if dist < best_dist:
+                best_dist = dist
+                best_node = node
+        return best_node
+
+    # ------------------------------------------------------------------ #
+    # interoperability
+    # ------------------------------------------------------------------ #
+    def to_networkx(self):
+        """Export the network as a :class:`networkx.DiGraph` (for tests/analysis)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for node, (x, y) in self._positions.items():
+            graph.add_node(node, x=x, y=y)
+        for u, v, cost in self.edges():
+            graph.add_edge(u, v, weight=cost)
+        return graph
+
+    @classmethod
+    def from_networkx(cls, graph, *, weight: str = "weight") -> "RoadNetwork":
+        """Build a :class:`RoadNetwork` from a networkx graph.
+
+        Node attributes ``x``/``y`` (or ``pos``) provide coordinates; missing
+        coordinates default to ``(0, 0)``.
+        """
+        network = cls()
+        for node, data in graph.nodes(data=True):
+            if "pos" in data:
+                x, y = data["pos"]
+            else:
+                x, y = data.get("x", 0.0), data.get("y", 0.0)
+            network.add_node(int(node), float(x), float(y))
+        for u, v, data in graph.edges(data=True):
+            network.add_edge(int(u), int(v), float(data.get(weight, 1.0)))
+            if not graph.is_directed():
+                network.add_edge(int(v), int(u), float(data.get(weight, 1.0)))
+        return network
+
+    @classmethod
+    def from_edge_list(
+        cls,
+        positions: dict[int, tuple[float, float]],
+        edges: Iterable[tuple[int, int, float]],
+        *,
+        bidirectional: bool = True,
+    ) -> "RoadNetwork":
+        """Build a network from a coordinate map and an edge list."""
+        network = cls()
+        for node, (x, y) in positions.items():
+            network.add_node(node, x, y)
+        for u, v, cost in edges:
+            network.add_edge(u, v, cost, bidirectional=bidirectional)
+        return network
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._positions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"RoadNetwork(nodes={self.num_nodes}, edges={self.num_edges})"

@@ -1,0 +1,292 @@
+"""Shortest-path (travel-time) oracle with caching and query accounting.
+
+The paper answers ``cost(u, v)`` queries with hub labeling [50] fronted by an
+LRU cache [40] and reports the number of shortest-path queries as one of the
+ablation metrics (Tables V and VI).  This module reproduces that interface:
+
+* :class:`DistanceOracle` -- ``cost(u, v)`` / ``path(u, v)`` queries answered
+  by Dijkstra with early termination, an LRU pair cache, and optional
+  landmark (ALT) lower bounds used as A* potentials.
+* :class:`QueryStatistics` -- counts logical queries, cache hits and the
+  number of full graph searches, so experiments can report the same
+  "#Shortest Path Queries" column as the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..exceptions import NetworkError, UnreachableError
+from .road_network import RoadNetwork
+
+
+@dataclass
+class QueryStatistics:
+    """Counters describing how the oracle has been used."""
+
+    #: Logical ``cost``/``path`` queries issued by callers.
+    queries: int = 0
+    #: Queries answered directly from the LRU pair cache.
+    cache_hits: int = 0
+    #: Dijkstra / A* searches actually executed.
+    searches: int = 0
+    #: Total number of node settlements across all searches (work proxy).
+    settled_nodes: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.queries = 0
+        self.cache_hits = 0
+        self.searches = 0
+        self.settled_nodes = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Return the counters as a plain dictionary (for reporting)."""
+        return {
+            "queries": self.queries,
+            "cache_hits": self.cache_hits,
+            "searches": self.searches,
+            "settled_nodes": self.settled_nodes,
+        }
+
+
+@dataclass
+class _LandmarkTable:
+    """Distances from / to a set of landmark nodes, used for ALT lower bounds."""
+
+    landmarks: list[int] = field(default_factory=list)
+    #: ``forward[i][v]`` = distance landmark_i -> v.
+    forward: list[dict[int, float]] = field(default_factory=list)
+    #: ``backward[i][v]`` = distance v -> landmark_i.
+    backward: list[dict[int, float]] = field(default_factory=list)
+
+    def lower_bound(self, u: int, v: int) -> float:
+        """Triangle-inequality lower bound on ``dist(u, v)``."""
+        best = 0.0
+        for fwd, bwd in zip(self.forward, self.backward):
+            # d(L, v) - d(L, u) <= d(u, v) and d(u, L) - d(v, L) <= d(u, v)
+            dl_v = fwd.get(v, math.inf)
+            dl_u = fwd.get(u, math.inf)
+            if dl_v < math.inf and dl_u < math.inf:
+                best = max(best, dl_v - dl_u)
+            du_l = bwd.get(u, math.inf)
+            dv_l = bwd.get(v, math.inf)
+            if du_l < math.inf and dv_l < math.inf:
+                best = max(best, du_l - dv_l)
+        return best
+
+
+class DistanceOracle:
+    """Cached travel-time oracle over a :class:`RoadNetwork`.
+
+    Parameters
+    ----------
+    network:
+        The road network to query.
+    cache_size:
+        Maximum number of ``(source, target) -> cost`` entries kept in the
+        LRU cache.  When a Dijkstra search terminates, every settled node is
+        opportunistically cached for the same source, which amortises the
+        cost of repeated queries from popular locations (vehicle positions).
+    num_landmarks:
+        Number of landmark nodes used for ALT (A*, landmarks, triangle
+        inequality) goal-directed search.  ``0`` disables the heuristic and
+        plain Dijkstra with early termination is used.
+    seed:
+        Seed for the landmark selection.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        *,
+        cache_size: int = 200_000,
+        num_landmarks: int = 0,
+        seed: int = 13,
+    ) -> None:
+        if cache_size < 0:
+            raise NetworkError("cache_size must be non-negative")
+        self._network = network
+        self._cache_size = cache_size
+        self._cache: OrderedDict[tuple[int, int], float] = OrderedDict()
+        self.stats = QueryStatistics()
+        self._landmarks: _LandmarkTable | None = None
+        if num_landmarks > 0:
+            self._landmarks = self._build_landmarks(num_landmarks, seed)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    @property
+    def network(self) -> RoadNetwork:
+        """The underlying road network."""
+        return self._network
+
+    def cost(self, source: int, target: int) -> float:
+        """Minimum travel time from ``source`` to ``target`` in seconds.
+
+        Returns ``math.inf`` when the target is unreachable (the feasibility
+        checks interpret an infinite cost as "not shareable / not insertable"
+        rather than raising).
+        """
+        self.stats.queries += 1
+        if source == target:
+            return 0.0
+        key = (source, target)
+        cached = self._cache_get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        distance = self._search(source, target)
+        return distance
+
+    def path(self, source: int, target: int) -> list[int]:
+        """Sequence of nodes of a shortest path from ``source`` to ``target``.
+
+        Raises :class:`UnreachableError` if no path exists.
+        """
+        self.stats.queries += 1
+        if source == target:
+            return [source]
+        distance, parents = self._search(source, target, want_parents=True)
+        if math.isinf(distance):
+            raise UnreachableError(f"node {target} is unreachable from {source}")
+        path = [target]
+        while path[-1] != source:
+            path.append(parents[path[-1]])
+        path.reverse()
+        return path
+
+    def route_cost(self, nodes: list[int]) -> float:
+        """Total travel time of the node sequence ``nodes`` (consecutive legs)."""
+        total = 0.0
+        for u, v in zip(nodes, nodes[1:]):
+            total += self.cost(u, v)
+        return total
+
+    def clear_cache(self) -> None:
+        """Drop every cached distance."""
+        self._cache.clear()
+
+    @property
+    def cache_len(self) -> int:
+        """Current number of cached ``(source, target)`` pairs."""
+        return len(self._cache)
+
+    def estimated_memory_bytes(self) -> int:
+        """Rough memory footprint of the cache (for the memory study)."""
+        # Each entry: two ints + a float + dict overhead, ~100 bytes is a fair
+        # order-of-magnitude figure for CPython.
+        return 100 * len(self._cache)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _cache_get(self, key: tuple[int, int]) -> float | None:
+        if self._cache_size == 0:
+            return None
+        value = self._cache.get(key)
+        if value is not None:
+            self._cache.move_to_end(key)
+        return value
+
+    def _cache_put(self, key: tuple[int, int], value: float) -> None:
+        if self._cache_size == 0:
+            return
+        self._cache[key] = value
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+
+    def _heuristic(self, node: int, target: int) -> float:
+        if self._landmarks is None:
+            return 0.0
+        return self._landmarks.lower_bound(node, target)
+
+    def _search(self, source: int, target: int, *, want_parents: bool = False):
+        """Dijkstra / A* with early termination at ``target``."""
+        network = self._network
+        if not network.has_node(source) or not network.has_node(target):
+            raise NetworkError(f"unknown endpoint in query ({source}, {target})")
+        self.stats.searches += 1
+        dist: dict[int, float] = {source: 0.0}
+        parents: dict[int, int] = {}
+        settled: set[int] = set()
+        heap: list[tuple[float, int]] = [(self._heuristic(source, target), source)]
+        target_distance = math.inf
+        while heap:
+            _, node = heapq.heappop(heap)
+            if node in settled:
+                continue
+            settled.add(node)
+            self.stats.settled_nodes += 1
+            node_dist = dist[node]
+            self._cache_put((source, node), node_dist)
+            if node == target:
+                target_distance = node_dist
+                break
+            for succ, cost in network.neighbors(node):
+                if succ in settled:
+                    continue
+                candidate = node_dist + cost
+                if candidate < dist.get(succ, math.inf):
+                    dist[succ] = candidate
+                    parents[succ] = node
+                    heapq.heappush(
+                        heap, (candidate + self._heuristic(succ, target), succ)
+                    )
+        if math.isinf(target_distance):
+            self._cache_put((source, target), math.inf)
+        if want_parents:
+            return target_distance, parents
+        return target_distance
+
+    def _single_source(self, source: int, *, reverse: bool = False) -> dict[int, float]:
+        """Full Dijkstra from ``source`` (or to it when ``reverse``)."""
+        network = self._network
+        dist: dict[int, float] = {source: 0.0}
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        settled: set[int] = set()
+        while heap:
+            node_dist, node = heapq.heappop(heap)
+            if node in settled:
+                continue
+            settled.add(node)
+            edges = network.predecessors(node) if reverse else network.neighbors(node)
+            for other, cost in edges:
+                if other in settled:
+                    continue
+                candidate = node_dist + cost
+                if candidate < dist.get(other, math.inf):
+                    dist[other] = candidate
+                    heapq.heappush(heap, (candidate, other))
+        return dist
+
+    def _build_landmarks(self, count: int, seed: int) -> _LandmarkTable:
+        nodes = list(self._network.nodes())
+        if not nodes:
+            return _LandmarkTable()
+        rng = random.Random(seed)
+        count = min(count, len(nodes))
+        # Farthest-point style selection: start random, then repeatedly pick
+        # the node farthest (in forward distance) from the chosen set.
+        landmarks = [rng.choice(nodes)]
+        forward = [self._single_source(landmarks[0])]
+        while len(landmarks) < count:
+            best_node, best_score = None, -1.0
+            for node in nodes:
+                score = min(table.get(node, math.inf) for table in forward)
+                if math.isinf(score):
+                    continue
+                if score > best_score:
+                    best_node, best_score = node, score
+            if best_node is None:
+                break
+            landmarks.append(best_node)
+            forward.append(self._single_source(best_node))
+        backward = [self._single_source(lm, reverse=True) for lm in landmarks]
+        return _LandmarkTable(landmarks=landmarks, forward=forward, backward=backward)

@@ -1,0 +1,131 @@
+"""Clique-partition bounds and utilities supporting Theorem IV.1.
+
+SARD's acceptance rule is justified by modelling "maximise the number of
+requests that still share" as a clique partition problem on the shareability
+graph.  This module implements the quantitative ingredients of that argument:
+
+* Bhasker & Samad's upper bound on the clique partition number in terms of
+  nodes and edges (Equation 6),
+* Janson et al.'s estimate of the largest clique in a power-law random graph
+  (Equation 7),
+* the combined upper bound for partitions into cliques of size at most ``k``
+  (Equation 8), and
+* a greedy bounded clique partition used in tests and analysis tooling.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .graph import ShareabilityGraph
+
+
+def clique_partition_upper_bound(num_nodes: int, num_edges: int) -> int:
+    """Equation 6: upper bound on the clique partition number.
+
+    ``theta_upper = floor((1 + sqrt(4n^2 - 4n - 8e + 1)) / 2)``.
+    """
+    if num_nodes < 0 or num_edges < 0:
+        raise ConfigurationError("node and edge counts must be non-negative")
+    if num_nodes == 0:
+        return 0
+    discriminant = 4 * num_nodes * num_nodes - 4 * num_nodes - 8 * num_edges + 1
+    discriminant = max(discriminant, 0)
+    return int(math.floor((1.0 + math.sqrt(discriminant)) / 2.0))
+
+
+def largest_clique_estimate(num_nodes: int, exponent: float, *, constant: float = 1.0) -> float:
+    """Equation 7: order of the largest clique in a power-law graph.
+
+    For tail exponent ``eta > 2`` the clique number is a small constant (the
+    paper uses 3); at ``eta = 2`` it is ``O(1)`` and below 2 it grows like
+    ``n^(1 - eta/2) (log n)^(-eta/2)``.
+    """
+    if num_nodes < 1:
+        raise ConfigurationError("num_nodes must be at least 1")
+    if exponent <= 0:
+        raise ConfigurationError("the power-law exponent must be positive")
+    if exponent > 2.0:
+        return 3.0
+    if math.isclose(exponent, 2.0):
+        return max(3.0, constant)
+    log_n = math.log(max(num_nodes, 2))
+    return constant * num_nodes ** (1.0 - exponent / 2.0) * log_n ** (-exponent / 2.0)
+
+
+def bounded_clique_partition_upper_bound(
+    num_nodes: int,
+    num_edges: int,
+    exponent: float,
+    max_clique_size: int,
+) -> float:
+    """Equation 8: upper bound when cliques must have size at most ``k``."""
+    if max_clique_size < 1:
+        raise ConfigurationError("max_clique_size must be at least 1")
+    base = clique_partition_upper_bound(num_nodes, num_edges)
+    omega = largest_clique_estimate(max(num_nodes, 1), exponent)
+    return base * math.ceil(max(omega, 1.0) / max_clique_size)
+
+
+def fit_power_law_exponent(degrees: Sequence[int]) -> float:
+    """Maximum-likelihood estimate of the power-law tail exponent.
+
+    Uses the standard Hill estimator ``eta = 1 + n / sum(ln(d_i / d_min))``
+    over the positive degrees, which the paper assumes when analysing the
+    shareability graph's degree distribution.
+    """
+    positive = np.asarray([d for d in degrees if d > 0], dtype=float)
+    if positive.size < 2:
+        raise ConfigurationError("need at least two positive degrees to fit")
+    d_min = positive.min()
+    ratios = np.log(positive / d_min)
+    total = float(ratios.sum())
+    if total <= 0:
+        return float("inf")
+    return 1.0 + positive.size / total
+
+
+def greedy_clique_partition(
+    graph: ShareabilityGraph, max_clique_size: int
+) -> list[set[int]]:
+    """Greedy partition of the graph into cliques of size at most ``k``.
+
+    Nodes are processed in ascending degree order (the scarce-shareability
+    first heuristic of Observation 1); each node seeds a clique that is
+    greedily extended with common neighbours.  The result is a valid
+    partition: every node appears in exactly one clique.
+    """
+    if max_clique_size < 1:
+        raise ConfigurationError("max_clique_size must be at least 1")
+    unassigned = set(graph.request_ids())
+    order = sorted(unassigned, key=graph.degree)
+    partition: list[set[int]] = []
+    for seed in order:
+        if seed not in unassigned:
+            continue
+        clique = {seed}
+        unassigned.discard(seed)
+        candidates = graph.neighbors(seed) & unassigned
+        while candidates and len(clique) < max_clique_size:
+            # Extend with the candidate sharing the most neighbours with the
+            # current clique to keep later extension possible.
+            best = max(candidates, key=lambda rid: len(graph.neighbors(rid) & candidates))
+            clique.add(best)
+            unassigned.discard(best)
+            candidates &= graph.neighbors(best)
+            candidates &= unassigned
+        partition.append(clique)
+    return partition
+
+
+def sharing_rate_of_partition(partition: Sequence[set[int]]) -> float:
+    """Fraction of requests placed in a clique of size at least two."""
+    total = sum(len(clique) for clique in partition)
+    if total == 0:
+        return 0.0
+    shared = sum(len(clique) for clique in partition if len(clique) >= 2)
+    return shared / total

@@ -1,0 +1,22 @@
+"""Batched dynamic ridesharing simulator.
+
+The simulator drives one "day" of operations: it slices the request trace
+into batches, advances vehicles along their schedules between batches, calls
+the dispatcher once per batch, applies the returned assignments and collects
+the paper's three headline metrics (unified cost, service rate, running
+time) plus the ablation counters (shortest-path queries, memory estimate).
+"""
+
+from .engine import Simulator, SimulationResult
+from .events import Event, EventKind, EventLog
+from .metrics import MetricsCollector, unified_cost
+
+__all__ = [
+    "Simulator",
+    "SimulationResult",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "MetricsCollector",
+    "unified_cost",
+]

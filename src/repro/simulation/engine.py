@@ -1,0 +1,263 @@
+"""The batched dynamic ridesharing simulator.
+
+One :class:`Simulator` instance runs one algorithm over one workload:
+
+1. requests are partitioned into batches of ``Delta`` seconds,
+2. at every batch boundary the vehicles advance along their schedules,
+   requests that can no longer be picked up expire (and incur the penalty),
+3. the dispatcher is called with the pending pool and returns assignments,
+4. assignments are applied to the vehicles and the grid index is refreshed,
+5. after the last batch the vehicles finish their remaining schedules and
+   the final metrics are computed.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from ..config import SimulationConfig
+from ..dispatch.base import DispatchContext, Dispatcher
+from ..exceptions import DispatchError
+from ..model.batch import Batch, BatchStream
+from ..model.request import Request
+from ..model.vehicle import Vehicle
+from ..network.grid_index import GridIndex
+from ..network.road_network import RoadNetwork
+from ..network.shortest_path import DistanceOracle
+from .events import Event, EventKind, EventLog
+from .metrics import BatchRecord, MetricsCollector, unified_cost
+
+
+@dataclass
+class SimulationResult:
+    """Everything a benchmark or experiment needs from one simulation run."""
+
+    algorithm: str
+    metrics: MetricsCollector
+    events: EventLog
+    config: SimulationConfig
+
+    @property
+    def unified_cost(self) -> float:
+        """Unified cost (Equation 3) of the run."""
+        return self.metrics.unified_cost
+
+    @property
+    def service_rate(self) -> float:
+        """Fraction of requests assigned to vehicles."""
+        return self.metrics.service_rate
+
+    @property
+    def running_time(self) -> float:
+        """Total dispatching time in seconds (the paper's "running time")."""
+        return self.metrics.dispatch_seconds
+
+    def summary(self) -> dict[str, float]:
+        """Flat metric dictionary, prefixed by the algorithm name elsewhere."""
+        return self.metrics.summary()
+
+
+@dataclass
+class Simulator:
+    """Drives one dispatcher over one workload."""
+
+    network: RoadNetwork
+    oracle: DistanceOracle
+    vehicles: list[Vehicle]
+    requests: list[Request]
+    dispatcher: Dispatcher
+    config: SimulationConfig
+    average_speed: float = 10.0
+    record_events: bool = True
+    _vehicle_index: GridIndex = field(init=False)
+
+    def __post_init__(self) -> None:
+        if len({v.vehicle_id for v in self.vehicles}) != len(self.vehicles):
+            raise DispatchError("vehicle identifiers must be unique")
+        if len({r.request_id for r in self.requests}) != len(self.requests):
+            raise DispatchError("request identifiers must be unique")
+        self._vehicle_index = GridIndex.for_network(self.network, self.config.grid_cells)
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationResult:
+        """Execute the whole simulation and return the collected metrics."""
+        start_wall = time.perf_counter()
+        metrics = MetricsCollector(total_requests=len(self.requests))
+        events = EventLog(max_events=200_000 if self.record_events else 0)
+        self.dispatcher.reset()
+        self.oracle.stats.reset()
+
+        vehicles_by_id = {vehicle.vehicle_id: vehicle for vehicle in self.vehicles}
+        self._refresh_vehicle_index()
+
+        pending: dict[int, Request] = {}
+        stream = BatchStream(self.requests, self.config.batch_period)
+        last_time = stream.start_time
+        for batch in stream:
+            last_time = batch.end_time
+            self._advance_vehicles(batch.end_time, metrics, events)
+            self._expire_pending(pending, batch.end_time, metrics, events)
+            for request in batch:
+                pending[request.request_id] = request
+                if self.record_events:
+                    events.record(
+                        Event(request.release_time, EventKind.REQUEST_RELEASED,
+                              request.request_id)
+                    )
+            if not pending:
+                continue
+            record = self._dispatch_batch(
+                batch, pending, vehicles_by_id, metrics, events
+            )
+            metrics.record_batch(record)
+
+        # Let the fleet finish every remaining stop, then total up.
+        self._advance_vehicles(math.inf, metrics, events)
+        self._expire_pending(pending, math.inf, metrics, events)
+        metrics.total_travel_time = sum(v.total_travel_time for v in self.vehicles)
+        metrics.completed_requests = sum(len(v.completed) for v in self.vehicles)
+        metrics.shortest_path_queries = self.oracle.stats.queries
+        metrics.wall_clock_seconds = time.perf_counter() - start_wall
+        metrics.observe_memory(self._memory_estimate())
+        # ``penalty`` has been accumulated as requests expired; recompute the
+        # final unified cost to make sure the invariant holds.
+        assert math.isclose(
+            metrics.unified_cost,
+            metrics.total_travel_time + metrics.penalty,
+            rel_tol=1e-9,
+        )
+        return SimulationResult(
+            algorithm=self.dispatcher.name,
+            metrics=metrics,
+            events=events,
+            config=self.config,
+        )
+
+    # ------------------------------------------------------------------ #
+    # batch processing
+    # ------------------------------------------------------------------ #
+    def _dispatch_batch(
+        self,
+        batch: Batch,
+        pending: dict[int, Request],
+        vehicles_by_id: dict[int, Vehicle],
+        metrics: MetricsCollector,
+        events: EventLog,
+    ) -> BatchRecord:
+        context = DispatchContext(
+            current_time=batch.end_time,
+            batch=batch,
+            pending=list(pending.values()),
+            vehicles=self.vehicles,
+            network=self.network,
+            oracle=self.oracle,
+            vehicle_index=self._vehicle_index,
+            config=self.config,
+            average_speed=self.average_speed,
+        )
+        dispatch_start = time.perf_counter()
+        result = self.dispatcher.dispatch(context)
+        dispatch_seconds = time.perf_counter() - dispatch_start
+
+        assigned_ids: set[int] = set()
+        for assignment in result.assignments:
+            vehicle = vehicles_by_id.get(assignment.vehicle_id)
+            if vehicle is None:
+                raise DispatchError(
+                    f"{self.dispatcher.name} assigned to unknown vehicle "
+                    f"{assignment.vehicle_id}"
+                )
+            new_requests = [
+                request
+                for request in assignment.new_requests
+                if request.request_id in pending
+            ]
+            if not new_requests:
+                continue
+            vehicle.assign_schedule(assignment.schedule, new_requests, batch.end_time)
+            for request in new_requests:
+                assigned_ids.add(request.request_id)
+                del pending[request.request_id]
+                if self.record_events:
+                    events.record(
+                        Event(batch.end_time, EventKind.REQUEST_ASSIGNED,
+                              request.request_id, vehicle.vehicle_id)
+                    )
+        metrics.assigned_requests += len(assigned_ids)
+
+        for request in result.rejected:
+            if request.request_id in pending:
+                del pending[request.request_id]
+                metrics.rejected_requests += 1
+                metrics.penalty += (
+                    self.config.penalty_coefficient * request.direct_cost
+                )
+                if self.record_events:
+                    events.record(
+                        Event(batch.end_time, EventKind.REQUEST_REJECTED,
+                              request.request_id)
+                    )
+
+        metrics.observe_memory(self._memory_estimate())
+        if self.record_events:
+            events.record(
+                Event(batch.end_time, EventKind.BATCH_DISPATCHED, batch.index)
+            )
+        return BatchRecord(
+            index=batch.index,
+            start_time=batch.start_time,
+            end_time=batch.end_time,
+            released=len(batch),
+            assigned=len(assigned_ids),
+            pending_after=len(pending),
+            dispatch_seconds=dispatch_seconds,
+        )
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    def _advance_vehicles(
+        self, until: float, metrics: MetricsCollector, events: EventLog
+    ) -> None:
+        for vehicle in self.vehicles:
+            completed = vehicle.advance_to(until, self.oracle)
+            for request, drop_time in completed:
+                if self.record_events:
+                    events.record(
+                        Event(drop_time, EventKind.REQUEST_COMPLETED,
+                              request.request_id, vehicle.vehicle_id)
+                    )
+        self._refresh_vehicle_index()
+
+    def _expire_pending(
+        self,
+        pending: dict[int, Request],
+        now: float,
+        metrics: MetricsCollector,
+        events: EventLog,
+    ) -> None:
+        expired = [r for r in pending.values() if r.is_expired(now)]
+        for request in expired:
+            del pending[request.request_id]
+            metrics.expired_requests += 1
+            metrics.penalty += self.config.penalty_coefficient * request.direct_cost
+            if self.record_events:
+                events.record(
+                    Event(now if math.isfinite(now) else request.latest_pickup,
+                          EventKind.REQUEST_EXPIRED, request.request_id)
+                )
+
+    def _refresh_vehicle_index(self) -> None:
+        for vehicle in self.vehicles:
+            x, y = self.network.position(vehicle.location)
+            self._vehicle_index.move(vehicle.vehicle_id, x, y)
+
+    def _memory_estimate(self) -> int:
+        vehicles = sum(v.estimated_memory_bytes() for v in self.vehicles)
+        return (
+            self.dispatcher.estimated_memory_bytes()
+            + self._vehicle_index.estimated_memory_bytes()
+            + vehicles
+        )

@@ -1,0 +1,64 @@
+"""Lightweight event log for simulation runs.
+
+Events are informational: they let tests and examples inspect *why* a run
+produced its metrics (which requests expired, when vehicles picked riders
+up) without the simulator having to expose its internals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from collections.abc import Iterator
+
+
+class EventKind(enum.Enum):
+    """The kinds of events recorded during a simulation."""
+
+    REQUEST_RELEASED = "request_released"
+    REQUEST_ASSIGNED = "request_assigned"
+    REQUEST_COMPLETED = "request_completed"
+    REQUEST_EXPIRED = "request_expired"
+    REQUEST_REJECTED = "request_rejected"
+    BATCH_DISPATCHED = "batch_dispatched"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped simulation event."""
+
+    time: float
+    kind: EventKind
+    #: Request id, vehicle id or batch index depending on the kind.
+    subject: int
+    #: Secondary identifier (e.g. the vehicle serving an assigned request).
+    other: int | None = None
+
+
+@dataclass
+class EventLog:
+    """Append-only list of events with small query helpers."""
+
+    events: list[Event] = field(default_factory=list)
+    #: Hard cap to keep memory bounded on large runs; ``None`` disables it.
+    max_events: int | None = 200_000
+
+    def record(self, event: Event) -> None:
+        """Append an event (dropped silently once the cap is reached)."""
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            return
+        self.events.append(event)
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        """All recorded events of one kind, in order."""
+        return [event for event in self.events if event.kind is kind]
+
+    def count(self, kind: EventKind) -> int:
+        """Number of recorded events of one kind."""
+        return sum(1 for event in self.events if event.kind is kind)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,100 @@
+"""Metric collection: unified cost, service rate, running time and counters.
+
+The unified cost (Equation 3 of the paper) is::
+
+    U(W, P) = alpha * sum_{w in W} travel_cost(w)  +  sum_{unserved r} p_r
+
+with ``p_r = pr * cost(r.source, r.destination)``, i.e. the penalty of an
+unserved request is proportional to its direct travel time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable
+
+from ..config import SimulationConfig
+from ..model.request import Request
+
+
+def unified_cost(
+    total_travel_time: float,
+    unserved: Iterable[Request],
+    config: SimulationConfig,
+) -> float:
+    """Equation 3: weighted travel cost plus penalties for unserved requests."""
+    penalty = config.penalty_coefficient * sum(r.direct_cost for r in unserved)
+    return config.alpha * total_travel_time + penalty
+
+
+@dataclass
+class BatchRecord:
+    """Per-batch accounting used for debugging and fine-grained reporting."""
+
+    index: int
+    start_time: float
+    end_time: float
+    released: int
+    assigned: int
+    pending_after: int
+    dispatch_seconds: float
+
+
+@dataclass
+class MetricsCollector:
+    """Mutable accumulator the simulator fills in while running."""
+
+    total_requests: int = 0
+    assigned_requests: int = 0
+    completed_requests: int = 0
+    expired_requests: int = 0
+    rejected_requests: int = 0
+    total_travel_time: float = 0.0
+    penalty: float = 0.0
+    dispatch_seconds: float = 0.0
+    wall_clock_seconds: float = 0.0
+    shortest_path_queries: int = 0
+    peak_memory_bytes: int = 0
+    num_batches: int = 0
+    proposal_rounds: int = 0
+    batch_records: list[BatchRecord] = field(default_factory=list)
+
+    @property
+    def service_rate(self) -> float:
+        """Fraction of requests assigned to a vehicle (the paper's metric)."""
+        if self.total_requests == 0:
+            return 0.0
+        return self.assigned_requests / self.total_requests
+
+    @property
+    def unified_cost(self) -> float:
+        """Unified cost computed from the accumulated travel time and penalty."""
+        return self.total_travel_time + self.penalty
+
+    def record_batch(self, record: BatchRecord) -> None:
+        """Register per-batch accounting."""
+        self.batch_records.append(record)
+        self.num_batches += 1
+        self.dispatch_seconds += record.dispatch_seconds
+
+    def observe_memory(self, estimate_bytes: int) -> None:
+        """Track the peak estimated working-set size."""
+        self.peak_memory_bytes = max(self.peak_memory_bytes, estimate_bytes)
+
+    def summary(self) -> dict[str, float]:
+        """Flat dictionary used by the reporting layer."""
+        return {
+            "total_requests": float(self.total_requests),
+            "assigned_requests": float(self.assigned_requests),
+            "completed_requests": float(self.completed_requests),
+            "expired_requests": float(self.expired_requests),
+            "service_rate": self.service_rate,
+            "total_travel_time": self.total_travel_time,
+            "penalty": self.penalty,
+            "unified_cost": self.unified_cost,
+            "dispatch_seconds": self.dispatch_seconds,
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "shortest_path_queries": float(self.shortest_path_queries),
+            "peak_memory_bytes": float(self.peak_memory_bytes),
+            "num_batches": float(self.num_batches),
+        }

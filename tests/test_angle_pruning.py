@@ -1,0 +1,135 @@
+"""Tests for the angle pruning rule and its probabilistic analysis."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.model.request import Request
+from repro.network.road_network import RoadNetwork
+from repro.shareability.angle_pruning import (
+    direction_angle,
+    expected_sharing_probability,
+    fit_lognormal,
+    passes_angle_filter,
+    sharing_lower_cutoff,
+    sharing_upper_cutoff,
+)
+
+
+@pytest.fixture()
+def cross_network() -> RoadNetwork:
+    """Five nodes: a centre with one node in each cardinal direction."""
+    network = RoadNetwork()
+    network.add_node(0, 0.0, 0.0)     # centre
+    network.add_node(1, 100.0, 0.0)   # east
+    network.add_node(2, -100.0, 0.0)  # west
+    network.add_node(3, 0.0, 100.0)   # north
+    network.add_node(4, 0.0, -100.0)  # south
+    return network
+
+
+def _request(rid: int, source: int, destination: int) -> Request:
+    return Request(release_time=0.0, request_id=rid, source=source,
+                   destination=destination, deadline=1000.0, direct_cost=10.0)
+
+
+class TestGeometry:
+    def test_parallel_directions_have_zero_angle(self, cross_network):
+        anchor = _request(1, 2, 1)      # westbound node to east
+        candidate = _request(2, 0, 1)   # centre to east
+        assert direction_angle(cross_network, anchor, candidate) == pytest.approx(0.0)
+
+    def test_opposite_directions_have_pi_angle(self, cross_network):
+        anchor = _request(1, 0, 2)      # anchor heads west; from s_b the anchor's
+        candidate = _request(2, 0, 1)   # destination is west, candidate's is east
+        angle = direction_angle(cross_network, candidate, anchor)
+        assert angle == pytest.approx(math.pi)
+
+    def test_perpendicular_directions(self, cross_network):
+        anchor = _request(1, 0, 3)
+        candidate = _request(2, 0, 1)
+        angle = direction_angle(cross_network, anchor, candidate)
+        assert angle == pytest.approx(math.pi / 2.0)
+
+    def test_degenerate_vector_gives_zero(self, cross_network):
+        anchor = _request(1, 0, 1)
+        candidate = _request(2, 1, 1)   # source equals destination of anchor
+        assert direction_angle(cross_network, anchor, candidate) == 0.0
+
+    def test_filter_threshold(self, cross_network):
+        anchor = _request(1, 0, 3)
+        aligned = _request(2, 0, 3)
+        perpendicular = _request(3, 0, 1)
+        assert passes_angle_filter(cross_network, anchor, aligned, math.pi / 2)
+        # Perpendicular pair: angle pi/2 exceeds delta/2 = pi/4.
+        assert not passes_angle_filter(cross_network, anchor, perpendicular, math.pi / 2)
+        # Disabling the filter keeps every pair.
+        assert passes_angle_filter(cross_network, anchor, perpendicular, None)
+
+
+class TestLogNormalFit:
+    def test_fit_recovers_parameters(self):
+        rng = random.Random(3)
+        mu, sigma = math.log(400.0), 0.5
+        samples = [rng.lognormvariate(mu, sigma) for _ in range(4000)]
+        fitted_mu, fitted_sigma = fit_lognormal(samples)
+        assert fitted_mu == pytest.approx(mu, abs=0.05)
+        assert fitted_sigma == pytest.approx(sigma, abs=0.05)
+
+    def test_fit_requires_two_positive_samples(self):
+        with pytest.raises(ConfigurationError):
+            fit_lognormal([5.0])
+        with pytest.raises(ConfigurationError):
+            fit_lognormal([-1.0, 0.0])
+
+
+class TestCutoffs:
+    def test_upper_cutoff_decreases_with_angle(self):
+        small = sharing_upper_cutoff(200.0, 0.2, 1.5)
+        large = sharing_upper_cutoff(200.0, 2.5, 1.5)
+        assert small > large
+
+    def test_lower_cutoff_increases_with_angle(self):
+        small = sharing_lower_cutoff(200.0, 0.2, 1.5)
+        large = sharing_lower_cutoff(200.0, 2.5, 1.5)
+        assert small < large
+
+    def test_cutoffs_require_valid_gamma(self):
+        with pytest.raises(ConfigurationError):
+            sharing_upper_cutoff(100.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            sharing_lower_cutoff(100.0, 1.0, 0.9)
+
+
+class TestExpectedProbability:
+    def test_matches_paper_ballpark_at_pi_over_2(self):
+        """The paper reports ~41% for theta = pi/2 and gamma = 1.5."""
+        probability = expected_sharing_probability(
+            mu=math.log(400.0), sigma=0.6, theta=math.pi / 2.0, gamma=1.5
+        )
+        assert 0.2 <= probability <= 0.65
+
+    def test_probability_decreases_with_angle(self):
+        mu, sigma = math.log(400.0), 0.6
+        aligned = expected_sharing_probability(mu, sigma, 0.3, 1.5)
+        perpendicular = expected_sharing_probability(mu, sigma, math.pi / 2, 1.5)
+        opposite = expected_sharing_probability(mu, sigma, 2.8, 1.5)
+        assert aligned >= perpendicular >= opposite
+
+    def test_probability_increases_with_gamma(self):
+        mu, sigma = math.log(400.0), 0.6
+        tight = expected_sharing_probability(mu, sigma, math.pi / 2, 1.2)
+        loose = expected_sharing_probability(mu, sigma, math.pi / 2, 2.0)
+        assert loose >= tight
+
+    def test_probability_is_a_probability(self):
+        value = expected_sharing_probability(math.log(300), 0.4, 1.0, 1.5)
+        assert 0.0 <= value <= 1.0
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ConfigurationError):
+            expected_sharing_probability(1.0, 0.0, 1.0, 1.5)

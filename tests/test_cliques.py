@@ -1,0 +1,149 @@
+"""Tests for the clique-partition bounds supporting Theorem IV.1."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.model.request import Request
+from repro.shareability.cliques import (
+    bounded_clique_partition_upper_bound,
+    clique_partition_upper_bound,
+    fit_power_law_exponent,
+    greedy_clique_partition,
+    largest_clique_estimate,
+    sharing_rate_of_partition,
+)
+from repro.shareability.graph import ShareabilityGraph
+
+
+def _random_graph(num_nodes: int, probability: float, seed: int) -> ShareabilityGraph:
+    rng = random.Random(seed)
+    graph = ShareabilityGraph()
+    for rid in range(num_nodes):
+        graph.add_request(Request(release_time=0.0, request_id=rid, source=0,
+                                  destination=1, deadline=10.0, direct_cost=1.0))
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            if rng.random() < probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+class TestEquation6:
+    def test_empty_graph(self):
+        assert clique_partition_upper_bound(0, 0) == 0
+
+    def test_edgeless_graph_needs_n_cliques(self):
+        assert clique_partition_upper_bound(5, 0) == 5
+
+    def test_complete_graph_bound_is_small(self):
+        n = 6
+        e = n * (n - 1) // 2
+        assert clique_partition_upper_bound(n, e) <= 3
+
+    def test_monotone_in_edges(self):
+        bounds = [clique_partition_upper_bound(10, e) for e in (0, 10, 20, 40)]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            clique_partition_upper_bound(-1, 0)
+
+
+class TestEquation7:
+    def test_heavy_tail_grows_with_n(self):
+        small = largest_clique_estimate(100, 1.5)
+        large = largest_clique_estimate(10_000, 1.5)
+        assert large > small
+
+    def test_exponent_above_two_is_constant(self):
+        assert largest_clique_estimate(100, 2.5) == largest_clique_estimate(10_000, 2.5)
+
+    def test_exponent_two_case(self):
+        assert largest_clique_estimate(1000, 2.0) >= 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            largest_clique_estimate(0, 1.5)
+        with pytest.raises(ConfigurationError):
+            largest_clique_estimate(10, 0.0)
+
+
+class TestEquation8:
+    def test_bounded_partition_at_least_unbounded_over_k(self):
+        n, e = 50, 200
+        base = clique_partition_upper_bound(n, e)
+        bounded = bounded_clique_partition_upper_bound(n, e, exponent=1.5, max_clique_size=3)
+        assert bounded >= base
+
+    def test_larger_capacity_lowers_bound(self):
+        n, e = 50, 200
+        small_k = bounded_clique_partition_upper_bound(n, e, 1.5, 2)
+        large_k = bounded_clique_partition_upper_bound(n, e, 1.5, 6)
+        assert large_k <= small_k
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            bounded_clique_partition_upper_bound(10, 5, 1.5, 0)
+
+
+class TestPowerLawFit:
+    def test_hill_estimator_on_synthetic_data(self):
+        rng = random.Random(7)
+        eta = 2.5
+        degrees = [max(1, int(round((1.0 - rng.random()) ** (-1.0 / (eta - 1.0))))) for _ in range(5000)]
+        fitted = fit_power_law_exponent(degrees)
+        assert 1.5 < fitted < 4.0
+
+    def test_requires_two_positive_degrees(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law_exponent([0, 0])
+
+
+class TestGreedyPartition:
+    def test_partition_covers_every_node_once(self):
+        graph = _random_graph(40, 0.2, seed=3)
+        partition = greedy_clique_partition(graph, max_clique_size=3)
+        covered = [rid for clique in partition for rid in clique]
+        assert sorted(covered) == sorted(graph.request_ids())
+
+    def test_every_block_is_a_clique_of_bounded_size(self):
+        graph = _random_graph(40, 0.3, seed=5)
+        partition = greedy_clique_partition(graph, max_clique_size=4)
+        for clique in partition:
+            assert len(clique) <= 4
+            assert graph.is_clique(clique)
+
+    def test_partition_count_respects_upper_bound(self):
+        graph = _random_graph(30, 0.4, seed=9)
+        partition = greedy_clique_partition(graph, max_clique_size=30)
+        bound = clique_partition_upper_bound(graph.num_nodes, graph.num_edges)
+        # Equation 6 bounds the *optimal* partition; the greedy result may be
+        # larger but never exceeds the trivial bound of one clique per node.
+        assert len(partition) <= graph.num_nodes
+        assert bound <= graph.num_nodes
+
+    def test_invalid_size(self):
+        graph = _random_graph(5, 0.5, seed=1)
+        with pytest.raises(ConfigurationError):
+            greedy_clique_partition(graph, 0)
+
+
+class TestSharingRate:
+    def test_rate_counts_groups_of_two_or_more(self):
+        partition = [{1, 2}, {3}, {4, 5, 6}]
+        assert sharing_rate_of_partition(partition) == pytest.approx(5 / 6)
+
+    def test_empty_partition(self):
+        assert sharing_rate_of_partition([]) == 0.0
+
+    def test_denser_graphs_share_more(self):
+        sparse = _random_graph(40, 0.05, seed=11)
+        dense = _random_graph(40, 0.5, seed=11)
+        sparse_rate = sharing_rate_of_partition(greedy_clique_partition(sparse, 3))
+        dense_rate = sharing_rate_of_partition(greedy_clique_partition(dense, 3))
+        assert dense_rate >= sparse_rate

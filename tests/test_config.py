@@ -1,0 +1,101 @@
+"""Tests for configuration validation and derived properties."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.config import ExperimentConfig, SimulationConfig, WorkloadConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestSimulationConfig:
+    def test_defaults_match_paper_table3(self):
+        config = SimulationConfig()
+        assert config.gamma == 1.5
+        assert config.penalty_coefficient == 10.0
+        assert config.batch_period == 3.0
+        assert config.capacity == 3
+        assert config.alpha == 1.0
+
+    def test_gamma_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(gamma=1.0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(gamma=0.9)
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(penalty_coefficient=-1.0)
+
+    def test_non_positive_batch_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(batch_period=0.0)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(capacity=0)
+
+    def test_angle_threshold_bounds(self):
+        SimulationConfig(angle_threshold=math.pi)
+        SimulationConfig(angle_threshold=None)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(angle_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(angle_threshold=4.0)
+
+    def test_group_size_limit_defaults_to_capacity(self):
+        assert SimulationConfig(capacity=4).group_size_limit == 4
+        assert SimulationConfig(capacity=4, max_group_size=2).group_size_limit == 2
+        assert SimulationConfig(capacity=2, max_group_size=5).group_size_limit == 2
+
+    def test_with_overrides_returns_new_object(self):
+        base = SimulationConfig()
+        other = base.with_overrides(gamma=2.0)
+        assert other.gamma == 2.0
+        assert base.gamma == 1.5
+        assert other is not base
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig().with_overrides(gamma=0.5)
+
+
+class TestWorkloadConfig:
+    def test_effective_horizon_from_arrival_rate(self):
+        config = WorkloadConfig(num_requests=300, arrival_rate=1.5, horizon=999.0)
+        assert config.effective_horizon == pytest.approx(200.0)
+
+    def test_effective_horizon_falls_back_to_horizon(self):
+        config = WorkloadConfig(num_requests=300, arrival_rate=0.0, horizon=999.0)
+        assert config.effective_horizon == 999.0
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(num_requests=-1)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(horizon=0.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(hotspot_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(mean_riders=0.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(capacity_sigma=-0.1)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(arrival_rate=-1.0)
+
+    def test_with_overrides(self):
+        base = WorkloadConfig(num_requests=100)
+        other = base.with_overrides(num_requests=50, name="X")
+        assert other.num_requests == 50
+        assert other.name == "X"
+        assert base.num_requests == 100
+
+
+class TestExperimentConfig:
+    def test_default_algorithm_lineup(self):
+        config = ExperimentConfig()
+        assert "SARD" in config.algorithms
+        assert "pruneGDP" in config.algorithms
+        assert len(config.algorithms) == 6

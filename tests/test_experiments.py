@@ -1,0 +1,133 @@
+"""Tests for the experiment harness, reporting and figure definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import figures
+from repro.experiments.harness import ExperimentRunner, ResultRow, SweepResult
+from repro.experiments.reporting import format_rows, format_sweep, rows_to_csv
+
+
+@pytest.fixture(scope="module")
+def tiny_runner() -> ExperimentRunner:
+    return ExperimentRunner(
+        algorithms=("pruneGDP", "SARD"),
+        request_fraction=0.0006,
+        vehicle_fraction=0.02,
+        city_scale=0.3,
+    )
+
+
+@pytest.fixture(scope="module")
+def gamma_sweep(tiny_runner: ExperimentRunner) -> SweepResult:
+    return tiny_runner.sweep("nyc", "gamma", (1.3, 1.8))
+
+
+class TestRunner:
+    def test_sweep_produces_row_per_algorithm_and_value(self, gamma_sweep: SweepResult):
+        assert len(gamma_sweep.rows) == 4
+        assert gamma_sweep.algorithms() == ["pruneGDP", "SARD"]
+        assert gamma_sweep.values() == [1.3, 1.8]
+
+    def test_rows_have_sane_metrics(self, gamma_sweep: SweepResult):
+        for row in gamma_sweep.rows:
+            assert 0.0 <= row.service_rate <= 1.0
+            assert row.unified_cost > 0
+            assert row.running_time >= 0
+            assert row.total_requests > 0
+            assert row.dataset == "NYC"
+
+    def test_series_grouping(self, gamma_sweep: SweepResult):
+        series = gamma_sweep.series("service_rate")
+        assert set(series) == {"pruneGDP", "SARD"}
+        assert [value for value, _ in series["SARD"]] == [1.3, 1.8]
+
+    def test_row_lookup(self, gamma_sweep: SweepResult):
+        row = gamma_sweep.row_for("SARD", 1.8)
+        assert row.algorithm == "SARD"
+        with pytest.raises(KeyError):
+            gamma_sweep.row_for("SARD", 99.0)
+
+    def test_metric_name_validation(self, gamma_sweep: SweepResult):
+        row = gamma_sweep.rows[0]
+        assert row.metric("memory") == float(row.peak_memory_bytes)
+        with pytest.raises(ConfigurationError):
+            row.metric("latency")
+
+    def test_unknown_parameter_rejected(self, tiny_runner: ExperimentRunner):
+        with pytest.raises(ConfigurationError):
+            tiny_runner.sweep("nyc", "weather", (1,))
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner(request_fraction=0.0)
+
+    def test_vehicle_sweep_scales_fleet(self, tiny_runner: ExperimentRunner):
+        sweep = tiny_runner.sweep("nyc", "num_vehicles", (1_000, 5_000),
+                                  algorithms=("pruneGDP",))
+        small, large = sweep.rows
+        # More vehicles never hurts the service rate on the same trace.
+        assert large.service_rate >= small.service_rate - 1e-9
+
+
+class TestReporting:
+    def test_format_rows_contains_all_cells(self, gamma_sweep: SweepResult):
+        text = format_rows(gamma_sweep.rows, title="Gamma sweep")
+        assert "Gamma sweep" in text
+        assert "SARD" in text and "pruneGDP" in text
+        assert "service_rate" in text
+
+    def test_format_sweep_matrix(self, gamma_sweep: SweepResult):
+        text = format_sweep(gamma_sweep, metric="service_rate")
+        assert "SARD" in text
+        assert "1.3" in text and "1.8" in text
+
+    def test_csv_round_trip(self, tmp_path, gamma_sweep: SweepResult):
+        path = tmp_path / "rows.csv"
+        text = rows_to_csv(gamma_sweep.rows, path)
+        assert path.exists()
+        lines = text.strip().splitlines()
+        assert len(lines) == 1 + len(gamma_sweep.rows)
+        assert lines[0].startswith("dataset,algorithm")
+
+
+class TestFigureDefinitions:
+    def test_paper_grids_match_tables(self):
+        assert figures.PAPER_GAMMAS == (1.2, 1.3, 1.5, 1.8, 2.0)
+        assert figures.PAPER_CAPACITIES == (2, 3, 4, 5, 6)
+        assert figures.PAPER_NUM_VEHICLES == (1_000, 2_000, 3_000, 4_000, 5_000)
+        assert figures.PAPER_PENALTIES == (2, 5, 10, 20, 30)
+        assert figures.PAPER_BATCH_PERIODS == (1, 3, 5, 7, 9)
+
+    def test_figure10_structure(self, tiny_runner: ExperimentRunner):
+        result = figures.figure10(values=(1.5,), presets=("nyc",), runner=tiny_runner,
+                                  algorithms=("pruneGDP", "SARD"))
+        assert set(result.sweeps) == {"nyc"}
+        assert len(result.all_rows()) == 2
+
+    def test_angle_pruning_ablation_rows(self):
+        rows = figures.angle_pruning_ablation(
+            presets=("nyc",), request_fraction=0.0006, vehicle_fraction=0.02
+        )
+        assert [row.method for row in rows] == ["SARD", "SARD-O"]
+        for row in rows:
+            assert 0.0 <= row.service_rate <= 1.0
+            assert row.shortest_path_queries > 0
+        # Angle pruning must not issue more shortest-path queries.
+        assert rows[1].shortest_path_queries <= rows[0].shortest_path_queries * 1.05
+
+    def test_angle_expectation_study_matches_paper_ballpark(self):
+        study = figures.angle_expectation_study(num_requests=200)
+        assert 0.0 <= study["expected_probability"] <= 1.0
+        assert study["gamma"] == 1.5
+
+    def test_insertion_order_study_outputs_probabilities(self):
+        rows = figures.insertion_order_study(
+            num_requests=120, group_sizes=(3,), samples_per_size=5, seed=2
+        )
+        for row in rows:
+            assert 0.0 <= row.release_order_optimal <= 1.0
+            assert 0.0 <= row.shareability_order_optimal <= 1.0
+            assert row.samples > 0

@@ -1,0 +1,132 @@
+"""Tests for the linear insertion operator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.insertion.kinetic_tree import KineticTreeScheduler
+from repro.insertion.linear_insertion import (
+    InsertionOutcome,
+    base_route_cost,
+    best_insertion,
+    insert_sequence,
+)
+from repro.model.schedule import Schedule
+from repro.model.vehicle import RouteState, Vehicle
+
+
+def _route(location: int, *, time: float = 0.0, capacity: int = 3,
+           schedule: Schedule | None = None, onboard: int = 0,
+           min_insert: int = 0) -> RouteState:
+    return RouteState(
+        vehicle_id=1,
+        origin=location,
+        departure_time=time,
+        schedule=schedule or Schedule.empty(),
+        capacity=capacity,
+        onboard=onboard,
+        min_insert_position=min_insert,
+    )
+
+
+class TestSingleInsertion:
+    def test_empty_schedule_gets_direct_trip(self, make_line_request, line_oracle):
+        request = make_line_request(1, 1, 3)
+        outcome = best_insertion(_route(0), request, line_oracle)
+        assert outcome.feasible
+        assert outcome.schedule.nodes() == [1, 3]
+        # 10 s deadhead to the source plus the 20 s trip.
+        assert outcome.delta_cost == pytest.approx(30.0)
+        assert outcome.total_cost == pytest.approx(30.0)
+
+    def test_infeasible_when_pickup_unreachable_in_time(self, make_line_request, line_oracle):
+        request = make_line_request(1, 0, 1, gamma=1.2, max_wait=5.0)
+        outcome = best_insertion(_route(4, time=0.0), request, line_oracle)
+        assert not outcome.feasible
+        assert math.isinf(outcome.delta_cost)
+
+    def test_optimal_for_two_requests(self, make_request, oracle):
+        """Linear insertion is optimal when the schedule holds one request."""
+        kinetic = KineticTreeScheduler(oracle)
+        first = make_request(1, 0, 14)
+        second = make_request(2, 1, 15)
+        route = _route(0)
+        first_outcome = best_insertion(route, first, oracle)
+        assert first_outcome.feasible
+        loaded = _route(0, schedule=first_outcome.schedule)
+        second_outcome = best_insertion(loaded, second, oracle)
+        assert second_outcome.feasible
+        optimal = kinetic.optimal_cost(route, [first, second])
+        assert second_outcome.total_cost == pytest.approx(optimal)
+
+    def test_respects_min_insert_position(self, make_line_request, line_oracle):
+        committed = make_line_request(1, 1, 3, gamma=2.0, max_wait=1000.0)
+        base = Schedule.direct(committed)
+        newcomer = make_line_request(2, 0, 1, max_wait=1000.0, gamma=3.0)
+        free = best_insertion(_route(0, schedule=base), newcomer, line_oracle)
+        locked = best_insertion(
+            _route(0, schedule=base, min_insert=1), newcomer, line_oracle
+        )
+        assert free.feasible
+        assert free.pickup_position == 0
+        # With the first stop committed the pick-up cannot go before it.
+        if locked.feasible:
+            assert locked.pickup_position >= 1
+        assert locked.delta_cost >= free.delta_cost - 1e-9
+
+    def test_capacity_blocks_overlapping_riders(self, make_line_request, line_oracle):
+        a = make_line_request(1, 0, 4, riders=3)
+        base = best_insertion(_route(0, capacity=3), a, line_oracle).schedule
+        b = make_line_request(2, 1, 3, riders=1)
+        outcome = best_insertion(_route(0, capacity=3, schedule=base), b, line_oracle)
+        # The only feasible placements must avoid carrying both at once; with
+        # such tight deadlines there is none.
+        if outcome.feasible:
+            evaluation = outcome.schedule.evaluate(
+                line_oracle, 0, 0.0, capacity=3, initial_load=0
+            )
+            assert evaluation.feasible
+
+    def test_delta_cost_matches_schedule_difference(self, make_request, oracle):
+        first = make_request(1, 0, 10)
+        second = make_request(2, 2, 20)
+        route = _route(0)
+        outcome1 = best_insertion(route, first, oracle)
+        route2 = _route(0, schedule=outcome1.schedule)
+        outcome2 = best_insertion(route2, second, oracle)
+        assert outcome2.total_cost == pytest.approx(
+            base_route_cost(route2, oracle) + outcome2.delta_cost
+        )
+
+    def test_infeasible_outcome_factory(self):
+        outcome = InsertionOutcome.infeasible(Schedule.empty())
+        assert not outcome.feasible
+        assert math.isinf(outcome.delta_cost)
+
+
+class TestInsertSequence:
+    def test_sequence_of_two(self, make_request, oracle):
+        a = make_request(1, 0, 14)
+        b = make_request(2, 1, 15)
+        outcome = insert_sequence(_route(0), [a, b], oracle)
+        assert outcome.feasible
+        assert outcome.schedule.request_ids() == {1, 2}
+        evaluation = outcome.schedule.evaluate(oracle, 0, 0.0, capacity=3)
+        assert evaluation.feasible
+        assert outcome.total_cost == pytest.approx(evaluation.travel_cost)
+
+    def test_sequence_fails_fast_on_infeasible_member(self, make_line_request, line_oracle):
+        good = make_line_request(1, 0, 2)
+        impossible = make_line_request(2, 4, 3, gamma=1.2, max_wait=1.0)
+        outcome = insert_sequence(_route(0), [good, impossible], line_oracle)
+        assert not outcome.feasible
+
+    def test_empty_sequence_is_identity(self, make_line_request, line_oracle):
+        request = make_line_request(1, 0, 2)
+        base = Schedule.direct(request)
+        outcome = insert_sequence(_route(0, schedule=base), [], line_oracle)
+        assert outcome.feasible
+        assert outcome.delta_cost == 0.0
+        assert outcome.schedule == base

@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.insertion.linear_insertion import best_insertion
+from repro.model.request import Request
+from repro.model.schedule import Schedule
+from repro.model.vehicle import RouteState
+from repro.network.generators import grid_city
+from repro.network.grid_index import GridIndex
+from repro.network.shortest_path import DistanceOracle
+from repro.shareability.cliques import clique_partition_upper_bound, greedy_clique_partition
+from repro.shareability.graph import ShareabilityGraph
+from repro.shareability.loss import residual_shareability_loss, shareability_loss
+
+# A single deterministic city shared by every property test (module scope keeps
+# hypothesis example generation fast).
+_CITY = grid_city(6, 6, block_length=100.0, speed=10.0, perturbation=0.0, seed=0)
+_ORACLE = DistanceOracle(_CITY)
+_NODES = list(_CITY.nodes())
+
+node_ids = st.sampled_from(_NODES)
+
+
+def _request(rid: int, source: int, destination: int, release: float, gamma: float) -> Request:
+    return Request.create(
+        request_id=rid, source=source, destination=destination,
+        release_time=release, direct_cost=_ORACLE.cost(source, destination),
+        gamma=gamma, max_wait=180.0,
+    )
+
+
+request_strategy = st.builds(
+    _request,
+    rid=st.integers(min_value=1, max_value=10_000),
+    source=node_ids,
+    destination=node_ids,
+    release=st.floats(min_value=0.0, max_value=60.0),
+    gamma=st.floats(min_value=1.1, max_value=2.5),
+).filter(lambda r: r.source != r.destination)
+
+
+class TestShortestPathProperties:
+    @given(source=node_ids, middle=node_ids, target=node_ids)
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, source, middle, target):
+        direct = _ORACLE.cost(source, target)
+        detour = _ORACLE.cost(source, middle) + _ORACLE.cost(middle, target)
+        assert direct <= detour + 1e-9
+
+    @given(source=node_ids, target=node_ids)
+    @settings(max_examples=40, deadline=None)
+    def test_cost_non_negative_and_zero_on_diagonal(self, source, target):
+        cost = _ORACLE.cost(source, target)
+        assert cost >= 0.0
+        if source == target:
+            assert cost == 0.0
+
+
+class TestScheduleProperties:
+    @given(request=request_strategy, origin=node_ids)
+    @settings(max_examples=60, deadline=None)
+    def test_direct_schedule_costs_deadhead_plus_trip(self, request, origin):
+        schedule = Schedule.direct(request)
+        cost = schedule.travel_cost(_ORACLE, origin)
+        expected = _ORACLE.cost(origin, request.source) + request.direct_cost
+        assert cost == pytest.approx(expected)
+
+    @given(request=request_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_feasible_evaluation_has_monotone_arrivals(self, request):
+        schedule = Schedule.direct(request)
+        evaluation = schedule.evaluate(
+            _ORACLE, request.source, request.release_time, capacity=4
+        )
+        if evaluation.feasible:
+            arrivals = evaluation.arrival_times
+            assert all(a <= b + 1e-9 for a, b in zip(arrivals, arrivals[1:]))
+            assert arrivals[-1] <= request.deadline + 1e-6
+
+    @given(first=request_strategy, second=request_strategy)
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.filter_too_much])
+    def test_insertion_preserves_structure(self, first, second):
+        if first.request_id == second.request_id:
+            return
+        route = RouteState(
+            vehicle_id=0, origin=first.source, departure_time=first.release_time,
+            schedule=Schedule.direct(first), capacity=4, onboard=0,
+        )
+        outcome = best_insertion(route, second, _ORACLE)
+        if not outcome.feasible:
+            return
+        schedule = outcome.schedule
+        assert schedule.satisfies_order()
+        assert schedule.request_ids() == {first.request_id, second.request_id}
+        evaluation = schedule.evaluate(
+            _ORACLE, route.origin, route.departure_time, capacity=4
+        )
+        assert evaluation.feasible
+        assert outcome.delta_cost >= -1e-9
+
+
+class TestGridIndexProperties:
+    @given(
+        points=st.lists(
+            st.tuples(st.floats(min_value=0, max_value=500),
+                      st.floats(min_value=0, max_value=500)),
+            min_size=1, max_size=60,
+        ),
+        query=st.tuples(st.floats(min_value=0, max_value=500),
+                        st.floats(min_value=0, max_value=500),
+                        st.floats(min_value=0, max_value=300)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_radius_query_equals_brute_force(self, points, query):
+        index = GridIndex((0, 0, 500, 500), cells_per_axis=7)
+        for key, (x, y) in enumerate(points):
+            index.insert(key, x, y)
+        qx, qy, radius = query
+        # Compare with the same squared-distance predicate the index documents
+        # (avoids spurious mismatches from subnormal-float underflow).
+        expected = {
+            key for key, (x, y) in enumerate(points)
+            if (x - qx) ** 2 + (y - qy) ** 2 <= radius * radius
+        }
+        assert set(index.query_radius(qx, qy, radius)) == expected
+
+
+def _graph_from_edge_bools(num_nodes: int, edge_bits: list[bool]) -> ShareabilityGraph:
+    graph = ShareabilityGraph()
+    for rid in range(num_nodes):
+        graph.add_request(Request(release_time=0.0, request_id=rid, source=0,
+                                  destination=1, deadline=10.0, direct_cost=1.0))
+    index = 0
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            if index < len(edge_bits) and edge_bits[index]:
+                graph.add_edge(u, v)
+            index += 1
+    return graph
+
+
+graph_strategy = st.integers(min_value=2, max_value=8).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(st.booleans(), min_size=n * (n - 1) // 2, max_size=n * (n - 1) // 2),
+    )
+).map(lambda pair: _graph_from_edge_bools(*pair))
+
+
+class TestShareabilityGraphProperties:
+    @given(graph=graph_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sum_is_twice_edge_count(self, graph):
+        assert sum(graph.degrees().values()) == 2 * graph.num_edges
+
+    @given(graph=graph_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_partition_is_a_partition_of_cliques(self, graph):
+        partition = greedy_clique_partition(graph, max_clique_size=3)
+        covered = sorted(rid for clique in partition for rid in clique)
+        assert covered == sorted(graph.request_ids())
+        assert all(graph.is_clique(clique) for clique in partition)
+        assert all(1 <= len(clique) <= 3 for clique in partition)
+
+    @given(graph=graph_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_equation6_bound_is_at_most_n(self, graph):
+        bound = clique_partition_upper_bound(graph.num_nodes, graph.num_edges)
+        assert 0 <= bound <= graph.num_nodes
+
+    @given(graph=graph_strategy, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_loss_bounds(self, graph, data):
+        nodes = sorted(graph.request_ids())
+        group = data.draw(st.lists(st.sampled_from(nodes), min_size=1,
+                                   max_size=min(3, len(nodes)), unique=True))
+        if len(group) > 1 and not graph.is_clique(group):
+            return
+        full = shareability_loss(graph, group)
+        residual = residual_shareability_loss(graph, group)
+        assert residual <= full + 1e-9
+        assert full <= graph.num_nodes
+        assert residual >= -1.0

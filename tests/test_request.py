@@ -1,0 +1,88 @@
+"""Tests for the request data model (Definition 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.exceptions import ConfigurationError
+from repro.model.request import Request
+
+
+class TestCreation:
+    def test_create_derives_deadline_from_gamma(self):
+        request = Request.create(
+            request_id=1, source=0, destination=5, release_time=100.0,
+            direct_cost=200.0, gamma=1.5,
+        )
+        assert request.deadline == pytest.approx(100.0 + 1.5 * 200.0)
+        assert request.direct_cost == 200.0
+
+    def test_create_requires_gamma_above_one(self):
+        with pytest.raises(ConfigurationError):
+            Request.create(
+                request_id=1, source=0, destination=5, release_time=0.0,
+                direct_cost=10.0, gamma=1.0,
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Request(release_time=0.0, request_id=1, source=0, destination=1, riders=0)
+        with pytest.raises(ConfigurationError):
+            Request(release_time=0.0, request_id=1, source=0, destination=1,
+                    direct_cost=-1.0)
+        with pytest.raises(ConfigurationError):
+            Request(release_time=10.0, request_id=1, source=0, destination=1,
+                    deadline=5.0)
+        with pytest.raises(ConfigurationError):
+            Request(release_time=0.0, request_id=1, source=0, destination=1,
+                    max_wait=-5.0)
+
+    def test_requests_sort_by_release_time(self):
+        early = Request(release_time=1.0, request_id=9, source=0, destination=1)
+        late = Request(release_time=2.0, request_id=1, source=0, destination=1)
+        assert sorted([late, early]) == [early, late]
+
+
+class TestDeadlines:
+    def test_latest_pickup_limited_by_waiting_time(self):
+        request = Request.create(
+            request_id=1, source=0, destination=1, release_time=0.0,
+            direct_cost=100.0, gamma=2.0, max_wait=30.0,
+        )
+        # deadline slack would allow 100 s, but the rider only waits 30 s.
+        assert request.latest_pickup == pytest.approx(30.0)
+
+    def test_latest_pickup_limited_by_deadline(self):
+        request = Request.create(
+            request_id=1, source=0, destination=1, release_time=0.0,
+            direct_cost=100.0, gamma=1.2, max_wait=500.0,
+        )
+        assert request.latest_pickup == pytest.approx(20.0)
+
+    def test_detour_budget(self):
+        request = Request.create(
+            request_id=1, source=0, destination=1, release_time=50.0,
+            direct_cost=100.0, gamma=1.5,
+        )
+        assert request.detour_budget == pytest.approx(50.0)
+
+    def test_expiry(self):
+        request = Request.create(
+            request_id=1, source=0, destination=1, release_time=0.0,
+            direct_cost=100.0, gamma=1.5, max_wait=40.0,
+        )
+        assert not request.is_expired(39.9)
+        assert request.is_expired(40.1)
+
+    def test_defaults_allow_unbounded_wait(self):
+        request = Request(release_time=0.0, request_id=1, source=0, destination=1,
+                          deadline=100.0, direct_cost=60.0)
+        assert request.latest_pickup == pytest.approx(40.0)
+
+
+class TestIntegrationWithConfig:
+    def test_factory_fixture_consistency(self, make_request, oracle, config: SimulationConfig):
+        request = make_request(3, 0, 11, release_time=5.0)
+        assert request.direct_cost == pytest.approx(oracle.cost(0, 11))
+        assert request.deadline == pytest.approx(5.0 + config.gamma * request.direct_cost)

@@ -1,0 +1,125 @@
+"""Tests for the road-network graph structure."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.network.road_network import RoadNetwork
+
+
+@pytest.fixture()
+def triangle() -> RoadNetwork:
+    network = RoadNetwork()
+    network.add_node(0, 0.0, 0.0)
+    network.add_node(1, 100.0, 0.0)
+    network.add_node(2, 0.0, 100.0)
+    network.add_edge(0, 1, 10.0)
+    network.add_edge(1, 2, 20.0, bidirectional=True)
+    return network
+
+
+class TestConstruction:
+    def test_counts(self, triangle: RoadNetwork):
+        assert triangle.num_nodes == 3
+        assert triangle.num_edges == 3  # 0->1, 1->2, 2->1
+
+    def test_add_edge_requires_existing_nodes(self):
+        network = RoadNetwork()
+        network.add_node(0, 0, 0)
+        with pytest.raises(NetworkError):
+            network.add_edge(0, 7, 1.0)
+
+    def test_negative_cost_rejected(self, triangle: RoadNetwork):
+        with pytest.raises(NetworkError):
+            triangle.add_edge(0, 2, -5.0)
+
+    def test_self_loop_rejected(self, triangle: RoadNetwork):
+        with pytest.raises(NetworkError):
+            triangle.add_edge(0, 0, 1.0)
+
+    def test_duplicate_edge_updates_cost_without_double_count(self, triangle: RoadNetwork):
+        before = triangle.num_edges
+        triangle.add_edge(0, 1, 99.0)
+        assert triangle.num_edges == before
+        assert triangle.edge_cost(0, 1) == 99.0
+
+    def test_re_adding_node_moves_it(self, triangle: RoadNetwork):
+        triangle.add_node(0, 5.0, 5.0)
+        assert triangle.position(0) == (5.0, 5.0)
+        # Edges must survive a node move.
+        assert triangle.has_edge(0, 1)
+
+
+class TestQueries:
+    def test_neighbors_and_predecessors(self, triangle: RoadNetwork):
+        assert dict(triangle.neighbors(1)) == {2: 20.0}
+        assert dict(triangle.predecessors(1)) == {0: 10.0, 2: 20.0}
+
+    def test_edge_cost_missing(self, triangle: RoadNetwork):
+        with pytest.raises(NetworkError):
+            triangle.edge_cost(2, 0)
+
+    def test_unknown_node_raises(self, triangle: RoadNetwork):
+        with pytest.raises(NetworkError):
+            list(triangle.neighbors(42))
+        with pytest.raises(NetworkError):
+            triangle.position(42)
+
+    def test_euclidean(self, triangle: RoadNetwork):
+        assert triangle.euclidean(0, 1) == pytest.approx(100.0)
+        assert triangle.euclidean(1, 2) == pytest.approx(math.hypot(100, 100))
+
+    def test_bounding_box(self, triangle: RoadNetwork):
+        assert triangle.bounding_box() == (0.0, 0.0, 100.0, 100.0)
+
+    def test_bounding_box_empty_network(self):
+        with pytest.raises(NetworkError):
+            RoadNetwork().bounding_box()
+
+    def test_nearest_node(self, triangle: RoadNetwork):
+        assert triangle.nearest_node(90.0, 5.0) == 1
+        assert triangle.nearest_node(-10.0, -10.0) == 0
+
+    def test_contains(self, triangle: RoadNetwork):
+        assert 0 in triangle
+        assert 99 not in triangle
+
+    def test_edges_iteration(self, triangle: RoadNetwork):
+        edges = set(triangle.edges())
+        assert (0, 1, 10.0) in edges
+        assert (1, 2, 20.0) in edges and (2, 1, 20.0) in edges
+
+    def test_out_degree(self, triangle: RoadNetwork):
+        assert triangle.out_degree(0) == 1
+        assert triangle.out_degree(1) == 1
+        assert triangle.out_degree(2) == 1
+
+
+class TestInterop:
+    def test_networkx_round_trip(self, triangle: RoadNetwork):
+        graph = triangle.to_networkx()
+        assert isinstance(graph, nx.DiGraph)
+        assert graph.number_of_nodes() == 3
+        back = RoadNetwork.from_networkx(graph)
+        assert back.num_nodes == 3
+        assert back.edge_cost(0, 1) == 10.0
+        assert back.position(1) == (100.0, 0.0)
+
+    def test_from_undirected_networkx_adds_both_directions(self):
+        graph = nx.Graph()
+        graph.add_node(0, x=0.0, y=0.0)
+        graph.add_node(1, x=1.0, y=0.0)
+        graph.add_edge(0, 1, weight=3.0)
+        network = RoadNetwork.from_networkx(graph)
+        assert network.has_edge(0, 1) and network.has_edge(1, 0)
+
+    def test_from_edge_list(self):
+        network = RoadNetwork.from_edge_list(
+            {0: (0, 0), 1: (1, 1)}, [(0, 1, 2.5)], bidirectional=True
+        )
+        assert network.has_edge(1, 0)
+        assert network.edge_cost(0, 1) == 2.5

@@ -1,0 +1,123 @@
+"""Tests for vehicle state, movement and schedule assignment."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.model.schedule import Schedule
+from repro.model.vehicle import Vehicle
+
+
+class TestRouteState:
+    def test_idle_route_state(self):
+        vehicle = Vehicle(vehicle_id=1, location=3, capacity=4)
+        state = vehicle.route_state(current_time=25.0)
+        assert state.origin == 3
+        assert state.departure_time == 25.0
+        assert state.capacity == 4
+        assert state.onboard == 0
+        assert state.min_insert_position == 0
+        assert state.free_seats == 4
+
+    def test_in_transit_route_state_commits_first_stop(self, make_line_request, line_oracle):
+        vehicle = Vehicle(vehicle_id=1, location=0, capacity=3)
+        request = make_line_request(1, 2, 4)
+        vehicle.assign_schedule(Schedule.direct(request), [request], current_time=0.0)
+        # Start driving toward the pick-up but do not reach it yet.
+        vehicle.advance_to(5.0, line_oracle)
+        state = vehicle.route_state(current_time=5.0)
+        assert state.min_insert_position == 1
+        assert state.origin == 0
+        assert len(state.schedule) == 2
+
+
+class TestAssignment:
+    def test_assign_registers_requests(self, make_line_request):
+        vehicle = Vehicle(vehicle_id=1, location=0)
+        request = make_line_request(1, 1, 3)
+        vehicle.assign_schedule(Schedule.direct(request), [request], current_time=2.0)
+        assert vehicle.assigned_request_ids == {1}
+        assert not vehicle.is_idle
+
+    def test_assign_must_cover_new_requests(self, make_line_request):
+        vehicle = Vehicle(vehicle_id=1, location=0)
+        request = make_line_request(1, 1, 3)
+        with pytest.raises(ScheduleError):
+            vehicle.assign_schedule(Schedule.empty(), [request], current_time=0.0)
+
+    def test_assign_cannot_drop_committed_stop_mid_leg(self, make_line_request, line_oracle):
+        vehicle = Vehicle(vehicle_id=1, location=0)
+        first = make_line_request(1, 2, 4)
+        vehicle.assign_schedule(Schedule.direct(first), [first], current_time=0.0)
+        vehicle.advance_to(5.0, line_oracle)
+        second = make_line_request(2, 1, 3)
+        reordered = Schedule.direct(second).with_insertion(first, 1, 2)
+        with pytest.raises(ScheduleError):
+            vehicle.assign_schedule(reordered, [second], current_time=5.0)
+
+
+class TestMovement:
+    def test_advance_completes_trip(self, make_line_request, line_oracle):
+        vehicle = Vehicle(vehicle_id=1, location=0, capacity=3)
+        request = make_line_request(1, 1, 3, release_time=0.0)
+        vehicle.assign_schedule(Schedule.direct(request), [request], current_time=0.0)
+        completed = vehicle.advance_to(100.0, line_oracle)
+        assert [r.request_id for r, _ in completed] == [1]
+        assert vehicle.is_idle
+        assert vehicle.location == 3
+        assert vehicle.onboard == 0
+        # 10 s to reach node 1 plus 20 s to node 3.
+        assert vehicle.total_travel_time == pytest.approx(30.0)
+
+    def test_partial_advance_keeps_leg_in_progress(self, make_line_request, line_oracle):
+        vehicle = Vehicle(vehicle_id=1, location=0, capacity=3)
+        request = make_line_request(1, 3, 4)
+        vehicle.assign_schedule(Schedule.direct(request), [request], current_time=0.0)
+        completed = vehicle.advance_to(10.0, line_oracle)
+        assert completed == []
+        assert vehicle.location == 0
+        assert not vehicle.is_idle
+        # Finishing later processes the pick-up and drop-off.
+        vehicle.advance_to(200.0, line_oracle)
+        assert vehicle.location == 4
+        assert vehicle.is_idle
+
+    def test_pickup_increases_onboard(self, make_line_request, line_oracle):
+        vehicle = Vehicle(vehicle_id=1, location=0, capacity=3)
+        request = make_line_request(1, 0, 4, riders=2)
+        vehicle.assign_schedule(Schedule.direct(request), [request], current_time=0.0)
+        vehicle.advance_to(5.0, line_oracle)
+        assert vehicle.onboard == 2
+        vehicle.advance_to(100.0, line_oracle)
+        assert vehicle.onboard == 0
+
+    def test_waits_for_release_before_pickup(self, make_line_request, line_oracle):
+        vehicle = Vehicle(vehicle_id=1, location=0, capacity=3)
+        request = make_line_request(1, 1, 2, release_time=60.0)
+        vehicle.assign_schedule(Schedule.direct(request), [request], current_time=0.0)
+        vehicle.advance_to(30.0, line_oracle)
+        # Vehicle has reached neither stop because the pick-up waits for t=60.
+        assert vehicle.onboard == 0
+        completed = vehicle.advance_to(100.0, line_oracle)
+        assert completed and completed[0][1] == pytest.approx(70.0)
+
+    def test_next_event_time(self, make_line_request, line_oracle):
+        vehicle = Vehicle(vehicle_id=1, location=0, capacity=3)
+        assert math.isinf(vehicle.next_event_time(line_oracle))
+        request = make_line_request(1, 2, 3)
+        vehicle.assign_schedule(Schedule.direct(request), [request], current_time=0.0)
+        assert vehicle.next_event_time(line_oracle) == pytest.approx(20.0)
+
+    def test_advance_is_idempotent_when_idle(self, line_oracle):
+        vehicle = Vehicle(vehicle_id=1, location=2)
+        vehicle.advance_to(50.0, line_oracle)
+        vehicle.advance_to(100.0, line_oracle)
+        assert vehicle.total_travel_time == 0.0
+        assert vehicle.location == 2
+
+    def test_memory_estimate_positive(self, make_line_request):
+        vehicle = Vehicle(vehicle_id=1, location=0)
+        assert vehicle.estimated_memory_bytes() > 0
