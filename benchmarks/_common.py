@@ -34,6 +34,12 @@ ALL_ALGORITHMS = ("pruneGDP", "TicketAssign+", "DARM+DPRS", "RTV", "GAS", "SARD"
 CORE_ALGORITHMS = ("pruneGDP", "RTV", "GAS", "SARD")
 
 
+#: Routing backend used by the figure benchmarks.  ``hub_label`` reproduces
+#: the paper's oracle (and is the fastest; see bench_oracle_backends.py);
+#: pass ``routing_backend="dijkstra"`` to make_runner for the legacy search.
+BENCH_ROUTING_BACKEND = "hub_label"
+
+
 def make_runner(algorithms=ALL_ALGORITHMS, **overrides) -> ExperimentRunner:
     """The benchmark-sized experiment runner."""
     params = {
@@ -41,6 +47,7 @@ def make_runner(algorithms=ALL_ALGORITHMS, **overrides) -> ExperimentRunner:
         "request_fraction": BENCH_REQUEST_FRACTION,
         "vehicle_fraction": BENCH_VEHICLE_FRACTION,
         "city_scale": BENCH_CITY_SCALE,
+        "routing_backend": BENCH_ROUTING_BACKEND,
     }
     params.update(overrides)
     return ExperimentRunner(**params)

@@ -1,0 +1,179 @@
+"""Microbenchmark of the pluggable routing backends.
+
+Times every backend of :class:`repro.network.shortest_path.DistanceOracle`
+(``dijkstra`` | ``alt`` | ``ch`` | ``hub_label``) on the same batch of
+repeated ``cost(u, v)`` queries over the NYC synthetic city at the default
+workload scale, with the LRU pair cache disabled so the raw per-query rate of
+each backend is what gets measured.  Two invariants are asserted alongside
+the timings:
+
+* the preprocessed backends return the same distances as plain Dijkstra
+  (within 1e-6), and the ``hub_label`` backend is at least 5x faster on
+  repeated cost queries;
+* every dispatcher produces *identical assignments* across all four backends
+  on a fixed-seed scenario, so switching backends is purely a performance
+  decision.
+
+Run directly (``python benchmarks/bench_oracle_backends.py``) for the full
+table, or through pytest like the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+
+from repro.dispatch import make_dispatcher
+from repro.network.generators import make_city
+from repro.network.shortest_path import DistanceOracle
+from repro.simulation.engine import Simulator
+from repro.simulation.events import EventKind
+from repro.workloads.presets import make_workload
+
+from _common import save_text
+
+#: All routing backends, reference (``dijkstra``) first.
+BACKENDS = ("dijkstra", "alt", "ch", "hub_label")
+#: The default city scale of :func:`repro.workloads.presets.make_workload`.
+CITY_SCALE = 0.7
+#: Number of distinct (source, target) pairs and repetitions per backend.
+NUM_PAIRS = 300
+REPEATS = 3
+#: Required speedup of the hub_label backend over plain Dijkstra.
+REQUIRED_SPEEDUP = 5.0
+
+#: Fixed-seed scenario used by the cross-backend assignment check.
+SCENARIO = {"num_requests": 150, "num_vehicles": 24}
+ALGORITHMS = ("pruneGDP", "TicketAssign+", "DARM+DPRS", "RTV", "GAS", "SARD")
+
+
+def measure_backends() -> list[dict]:
+    """Time every backend on the same query batch; returns one row each."""
+    rng = random.Random(7)
+    nodes = list(make_city("nyc", scale=CITY_SCALE).nodes())
+    pairs = [tuple(rng.sample(nodes, 2)) for _ in range(NUM_PAIRS)]
+    rows: list[dict] = []
+    reference: dict[tuple[int, int], float] = {}
+    for name in BACKENDS:
+        # A fresh (identical) city per backend so shared preprocessing from a
+        # previous backend cannot hide this backend's true build cost.
+        city = make_city("nyc", scale=CITY_SCALE)
+        build_start = time.perf_counter()
+        oracle = DistanceOracle(city, cache_size=0, backend=name)
+        oracle.cost(*pairs[0])  # force the lazy preprocessing
+        build_seconds = time.perf_counter() - build_start
+        costs = {pair: oracle.cost(*pair) for pair in pairs}
+        query_start = time.perf_counter()
+        for _ in range(REPEATS):
+            for u, v in pairs:
+                oracle.cost(u, v)
+        query_seconds = time.perf_counter() - query_start
+        if name == "dijkstra":
+            reference = costs
+        max_error = max(
+            abs(costs[pair] - reference[pair])
+            for pair in pairs
+            if math.isfinite(reference[pair])
+        )
+        rows.append(
+            {
+                "backend": name,
+                "build_ms": build_seconds * 1e3,
+                "query_us": query_seconds / (REPEATS * NUM_PAIRS) * 1e6,
+                "queries_per_s": REPEATS * NUM_PAIRS / query_seconds,
+                "max_error": max_error,
+            }
+        )
+    baseline = rows[0]["query_us"]
+    for row in rows:
+        row["speedup"] = baseline / row["query_us"]
+    return rows
+
+
+def format_table(rows: list[dict]) -> str:
+    lines = [
+        "Routing backend microbenchmark "
+        f"(NYC city at scale {CITY_SCALE}, {NUM_PAIRS} pairs x {REPEATS}, cache off)",
+        f"{'backend':12s} {'build ms':>9s} {'query us':>9s} {'queries/s':>10s} "
+        f"{'speedup':>8s} {'max |err|':>10s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['backend']:12s} {row['build_ms']:9.1f} {row['query_us']:9.1f} "
+            f"{row['queries_per_s']:10.0f} {row['speedup']:7.1f}x {row['max_error']:10.2e}"
+        )
+    return "\n".join(lines)
+
+
+def _assignments(workload, algorithm: str, backend: str) -> list[tuple[int, int]]:
+    """Sorted (request, vehicle) assignment pairs of one fixed-seed run."""
+    simulator = Simulator(
+        network=workload.network,
+        oracle=workload.fresh_oracle(backend=backend),
+        vehicles=workload.fresh_vehicles(),
+        requests=list(workload.requests),
+        dispatcher=make_dispatcher(algorithm),
+        config=workload.simulation_config,
+        record_events=True,
+    )
+    result = simulator.run()
+    return sorted(
+        (event.subject, event.other)
+        for event in result.events.of_kind(EventKind.REQUEST_ASSIGNED)
+    )
+
+
+def verify_identical_assignments() -> dict[str, int]:
+    """Assert every dispatcher assigns identically under all backends."""
+    workload = make_workload(
+        "nyc", city_scale=CITY_SCALE, workload_overrides=dict(SCENARIO)
+    )
+    assigned_counts: dict[str, int] = {}
+    for algorithm in ALGORITHMS:
+        reference = _assignments(workload, algorithm, BACKENDS[0])
+        for backend in BACKENDS[1:]:
+            assignments = _assignments(workload, algorithm, backend)
+            assert assignments == reference, (
+                f"{algorithm}: backend {backend!r} diverged from "
+                f"{BACKENDS[0]!r} ({len(assignments)} vs {len(reference)} pairs)"
+            )
+        assigned_counts[algorithm] = len(reference)
+    return assigned_counts
+
+
+# ---------------------------------------------------------------------- #
+# pytest entry points (mirroring the other benchmark modules)
+# ---------------------------------------------------------------------- #
+def test_backend_speedup():
+    rows = measure_backends()
+    by_name = {row["backend"]: row for row in rows}
+    assert all(row["max_error"] < 1e-6 for row in rows)
+    assert by_name["hub_label"]["speedup"] >= REQUIRED_SPEEDUP, (
+        f"hub_label only {by_name['hub_label']['speedup']:.1f}x faster "
+        f"than dijkstra (need {REQUIRED_SPEEDUP}x)"
+    )
+    save_text("oracle_backends", format_table(rows))
+
+
+def test_identical_assignments_across_backends():
+    counts = verify_identical_assignments()
+    # The scenario must actually exercise the dispatchers.
+    assert all(count > 0 for count in counts.values())
+
+
+def main() -> None:
+    rows = measure_backends()
+    table = format_table(rows)
+    counts = verify_identical_assignments()
+    lines = [table, "", "Cross-backend assignment check (fixed-seed NYC scenario):"]
+    for algorithm, count in counts.items():
+        lines.append(
+            f"  {algorithm:14s} {count:4d} assignments -- identical on "
+            + ", ".join(BACKENDS)
+        )
+    save_text("oracle_backends", "\n".join(lines))
+
+
+if __name__ == "__main__":
+    main()

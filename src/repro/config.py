@@ -25,6 +25,11 @@ from .exceptions import ConfigurationError
 #: Default maximum waiting time for a pick-up, in seconds (5 minutes).
 DEFAULT_MAX_WAIT = 300.0
 
+#: Routing backends accepted by ``SimulationConfig.routing_backend`` (must
+#: match :data:`repro.network.routing.BACKEND_NAMES`; duplicated here so the
+#: config layer stays import-free of the network package).
+ROUTING_BACKENDS = ("dijkstra", "alt", "ch", "hub_label")
+
 #: Default angle pruning threshold, in radians (pi / 2 as used in the paper).
 DEFAULT_ANGLE_THRESHOLD = math.pi / 2.0
 
@@ -61,6 +66,11 @@ class SimulationConfig:
     max_group_size: int | None = None
     #: Keep unassigned requests in the working pool until they expire.
     retain_unassigned: bool = True
+    #: Routing backend answering ``cost(u, v)`` queries: ``"dijkstra"``
+    #: (per-query CSR search), ``"alt"`` (landmark-directed search),
+    #: ``"ch"`` (contraction hierarchies) or ``"hub_label"`` (hub labels
+    #: extracted from the hierarchy -- the paper's oracle).
+    routing_backend: str = "dijkstra"
 
     def __post_init__(self) -> None:
         if self.gamma <= 1.0:
@@ -86,6 +96,11 @@ class SimulationConfig:
             raise ConfigurationError("grid_cells must be at least 1")
         if self.max_group_size is not None and self.max_group_size < 1:
             raise ConfigurationError("max_group_size must be at least 1 or None")
+        if self.routing_backend not in ROUTING_BACKENDS:
+            raise ConfigurationError(
+                f"routing_backend must be one of {ROUTING_BACKENDS} "
+                f"(got {self.routing_backend!r})"
+            )
 
     @property
     def group_size_limit(self) -> int:

@@ -64,7 +64,7 @@ class SARDDispatcher(Dispatcher):
         this reproduction that ordering wastes fleet time and flattens
         SARD's advantage, so the default proposes cheapest-first; the
         paper-literal ordering is kept as an option and exercised by the
-        proposal-order ablation benchmark (see DESIGN.md / EXPERIMENTS.md).
+        proposal-order ablation benchmark (see DESIGN.md).
     prefer_larger_groups:
         Ablation switch: rank candidate groups primarily by size instead of
         by shareability loss.
@@ -156,9 +156,20 @@ class SARDDispatcher(Dispatcher):
         assigned_to: dict[int, int] = {}
         for request in context.pending:
             queue: list[tuple[float, int]] = []
-            for vehicle in candidate_vehicles(
+            candidates = candidate_vehicles(
                 request, context, max_candidates=self._max_candidates
-            ):
+            )
+            if candidates:
+                # Batch the pick-up legs of every candidate's insertion test
+                # (vehicle position -> request source) into one oracle call:
+                # a reverse multi-source search for the graph backends, a
+                # bucket join for hub labels.  ``prefetch`` leaves the
+                # logical query counters untouched.
+                context.oracle.prefetch(
+                    [states[v.vehicle_id].route.origin for v in candidates],
+                    (request.source,),
+                )
+            for vehicle in candidates:
                 state = states[vehicle.vehicle_id]
                 outcome = best_insertion(state.route, request, context.oracle)
                 if not outcome.feasible:
@@ -170,6 +181,7 @@ class SARDDispatcher(Dispatcher):
         # Every round pops at least one candidate vehicle from each live
         # queue, so the natural bound is the longest queue; evictions can add
         # a few extra rounds, hence the slack.
+        batch_group_count = 0
         max_rounds = (self._max_candidates or len(context.vehicles)) * 2 + 10
         for _ in range(max_rounds):
             proposing = [
@@ -219,7 +231,7 @@ class SARDDispatcher(Dispatcher):
                     max_group_size=config.group_size_limit,
                     stats=self.grouping_stats,
                 )
-                self._last_group_count = max(self._last_group_count, len(groups))
+                batch_group_count = max(batch_group_count, len(groups))
                 best = self._select_group(groups, graph)
                 if best is None:
                     continue
@@ -250,7 +262,10 @@ class SARDDispatcher(Dispatcher):
             )
         # Assigned requests leave the shareability graph right away so that
         # the next batch starts from a clean working set.
-        builder.remove([rid for rid, _ in assigned_to.items()])
+        builder.remove(list(assigned_to))
+        # The memory estimate tracks the group pool of the *last* batch, not
+        # a running maximum over the whole simulation.
+        self._last_group_count = batch_group_count
         return DispatchResult(assignments=assignments)
 
     # ------------------------------------------------------------------ #

@@ -120,6 +120,7 @@ class ExperimentRunner:
         vehicle_fraction: float = 0.04,
         city_scale: float = 0.7,
         dispatcher_factory=None,
+        routing_backend: str | None = None,
     ) -> None:
         if request_fraction <= 0 or vehicle_fraction <= 0 or city_scale <= 0:
             raise ConfigurationError(
@@ -132,6 +133,9 @@ class ExperimentRunner:
         #: Fraction of the paper's fleet size (0.04 turns 3K vehicles into 120).
         self.vehicle_fraction = vehicle_fraction
         self.city_scale = city_scale
+        #: Routing backend forced on every workload built by this runner
+        #: (``None`` keeps each preset's ``SimulationConfig.routing_backend``).
+        self.routing_backend = routing_backend
         self._dispatcher_factory = dispatcher_factory or make_dispatcher
 
     # ------------------------------------------------------------------ #
@@ -148,7 +152,7 @@ class ExperimentRunner:
         dispatcher = dispatcher or self._dispatcher_factory(algorithm)
         simulator = Simulator(
             network=workload.network,
-            oracle=workload.fresh_oracle(),
+            oracle=workload.fresh_oracle(backend=config.routing_backend),
             vehicles=workload.fresh_vehicles(),
             requests=list(workload.requests),
             dispatcher=dispatcher,
@@ -205,6 +209,8 @@ class ExperimentRunner:
     ) -> Workload:
         workload_overrides = dict(workload_overrides or {})
         simulation_overrides = dict(simulation_overrides or {})
+        if self.routing_backend is not None:
+            simulation_overrides.setdefault("routing_backend", self.routing_backend)
         # Every instance uses the paper's default request/fleet sizes scaled
         # by the runner's fractions; the swept parameter then overrides the
         # matching knob.

@@ -8,8 +8,9 @@ from scratch:
 * :class:`~repro.network.road_network.RoadNetwork` -- directed, weighted
   road graph with planar node coordinates.
 * :class:`~repro.network.shortest_path.DistanceOracle` -- cached
-  shortest-path (travel-time) oracle with query statistics, optionally
-  accelerated with landmark (ALT) lower bounds.
+  shortest-path (travel-time) oracle with query statistics, a facade over
+  the pluggable routing backends of :mod:`repro.network.routing`
+  (plain/ALT Dijkstra on a CSR graph, contraction hierarchies, hub labels).
 * :class:`~repro.network.grid_index.GridIndex` -- the n x n grid spatial
   index used to retrieve nearby vehicles and requests in constant time.
 * :mod:`~repro.network.generators` -- synthetic city generators standing in
@@ -18,6 +19,13 @@ from scratch:
 
 from .grid_index import GridIndex
 from .road_network import RoadNetwork
+from .routing import (
+    BACKEND_NAMES,
+    CSRGraph,
+    ContractionHierarchy,
+    HubLabeling,
+    routing_data,
+)
 from .shortest_path import DistanceOracle, QueryStatistics
 from .generators import (
     grid_city,
@@ -27,9 +35,14 @@ from .generators import (
 )
 
 __all__ = [
+    "BACKEND_NAMES",
     "RoadNetwork",
     "DistanceOracle",
     "QueryStatistics",
+    "CSRGraph",
+    "ContractionHierarchy",
+    "HubLabeling",
+    "routing_data",
     "GridIndex",
     "grid_city",
     "ring_radial_city",

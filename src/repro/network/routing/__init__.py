@@ -1,0 +1,40 @@
+"""Routing backends: CSR graph, contraction hierarchies and hub labels.
+
+This package is the preprocessing layer below
+:class:`~repro.network.shortest_path.DistanceOracle`.  The facade picks one
+of the pluggable backends (``dijkstra`` | ``alt`` | ``ch`` | ``hub_label``,
+see :data:`BACKEND_NAMES`) and this package supplies the compiled structures:
+
+* :class:`~repro.network.routing.csr.CSRGraph` -- flat-array adjacency
+  compiled once from the dict-based :class:`~repro.network.road_network.RoadNetwork`.
+* :class:`~repro.network.routing.contraction.ContractionHierarchy` --
+  shortcut overlay with edge-difference ordering and witness searches.
+* :class:`~repro.network.routing.hub_labels.HubLabeling` -- label extraction
+  from the hierarchy with sorted-merge and bucket-join queries.
+"""
+
+from .backends import (
+    BACKEND_NAMES,
+    CHBackend,
+    GraphSearchBackend,
+    HubLabelBackend,
+    RoutingData,
+    make_backend,
+    routing_data,
+)
+from .contraction import ContractionHierarchy
+from .csr import CSRGraph
+from .hub_labels import HubLabeling
+
+__all__ = [
+    "BACKEND_NAMES",
+    "CSRGraph",
+    "CHBackend",
+    "ContractionHierarchy",
+    "GraphSearchBackend",
+    "HubLabelBackend",
+    "HubLabeling",
+    "RoutingData",
+    "make_backend",
+    "routing_data",
+]

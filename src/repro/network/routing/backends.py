@@ -1,0 +1,302 @@
+"""Pluggable routing backends and the shared per-network routing data.
+
+:class:`~repro.network.shortest_path.DistanceOracle` is a facade: caching and
+query accounting live there, while the actual distance computation is done by
+one of the backends in this module:
+
+``dijkstra``
+    CSR-based Dijkstra with early termination (the reference backend).
+``alt``
+    The same search goal-directed with landmark (A*, Landmarks, Triangle
+    inequality) potentials.
+``ch``
+    Bidirectional upward query over a contraction hierarchy.
+``hub_label``
+    Sorted-label merge over hub labels extracted from the hierarchy
+    (the paper's oracle), with a bucket-join ``many_to_many``.
+
+Preprocessed structures (CSR arrays, the hierarchy, the labels) are expensive
+relative to a single query, so they are built lazily and shared across every
+oracle over the same :class:`RoadNetwork` through a weak-keyed cache with a
+structural fingerprint that invalidates on mutation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+import weakref
+from collections.abc import Sequence
+
+from ...exceptions import NetworkError
+from ..road_network import RoadNetwork
+from .contraction import ContractionHierarchy
+from .csr import CSRGraph
+from .hub_labels import HubLabeling
+
+#: Names accepted by :func:`make_backend` and ``SimulationConfig.routing_backend``.
+BACKEND_NAMES = ("dijkstra", "alt", "ch", "hub_label")
+
+
+def _fingerprint(network: RoadNetwork) -> tuple[int, int, int]:
+    """Cheap structural checksum used to invalidate shared routing data."""
+    checksum = 0
+    for u, v, w in network.edges():
+        checksum ^= hash((u, v, w))
+    return network.num_nodes, network.num_edges, checksum
+
+
+class RoutingData:
+    """Lazily-built routing structures shared by every oracle on one network."""
+
+    __slots__ = ("fingerprint", "csr", "_hierarchy", "_labeling", "__weakref__")
+
+    def __init__(self, network: RoadNetwork) -> None:
+        self.fingerprint = _fingerprint(network)
+        self.csr = CSRGraph.from_network(network)
+        self._hierarchy: ContractionHierarchy | None = None
+        self._labeling: HubLabeling | None = None
+
+    @property
+    def hierarchy(self) -> ContractionHierarchy:
+        """The contraction hierarchy (built on first access)."""
+        if self._hierarchy is None:
+            self._hierarchy = ContractionHierarchy(self.csr)
+        return self._hierarchy
+
+    @property
+    def labeling(self) -> HubLabeling:
+        """The hub labeling (built on first access, on top of the hierarchy)."""
+        if self._labeling is None:
+            self._labeling = HubLabeling(self.hierarchy)
+        return self._labeling
+
+
+_ROUTING_DATA: "weakref.WeakKeyDictionary[RoadNetwork, RoutingData]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def routing_data(network: RoadNetwork) -> RoutingData:
+    """Shared :class:`RoutingData` for ``network`` (rebuilt when it changed)."""
+    data = _ROUTING_DATA.get(network)
+    if data is None or data.fingerprint != _fingerprint(network):
+        data = RoutingData(network)
+        _ROUTING_DATA[network] = data
+    return data
+
+
+# ---------------------------------------------------------------------- #
+# graph-search backend (dijkstra / ALT)
+# ---------------------------------------------------------------------- #
+class _LandmarkTable:
+    """Forward/backward landmark distances over dense node indices."""
+
+    __slots__ = ("landmarks", "forward", "backward")
+
+    def __init__(self, csr: CSRGraph, count: int, seed: int) -> None:
+        n = csr.num_nodes
+        rng = random.Random(seed)
+        self.landmarks: list[int] = []
+        self.forward: list[list[float]] = []
+        self.backward: list[list[float]] = []
+        if n == 0 or count <= 0:
+            return
+        count = min(count, n)
+        # Farthest-point selection: start random, then repeatedly pick the
+        # node farthest (in forward distance) from the chosen set.
+        first = rng.randrange(n)
+        self.landmarks.append(first)
+        self.forward.append(csr.sssp(first)[0])
+        while len(self.landmarks) < count:
+            best_node, best_score = -1, -1.0
+            for node in range(n):
+                score = min(table[node] for table in self.forward)
+                if math.isinf(score):
+                    continue
+                if score > best_score:
+                    best_node, best_score = node, score
+            if best_node < 0:
+                break
+            self.landmarks.append(best_node)
+            self.forward.append(csr.sssp(best_node)[0])
+        self.backward = [csr.sssp(lm, reverse=True)[0] for lm in self.landmarks]
+
+    def lower_bound(self, u: int, v: int) -> float:
+        """Triangle-inequality lower bound on ``dist(u, v)``."""
+        best = 0.0
+        for fwd, bwd in zip(self.forward, self.backward):
+            dl_v, dl_u = fwd[v], fwd[u]
+            if dl_v < math.inf and dl_u < math.inf and dl_v - dl_u > best:
+                best = dl_v - dl_u
+            du_l, dv_l = bwd[u], bwd[v]
+            if du_l < math.inf and dv_l < math.inf and du_l - dv_l > best:
+                best = du_l - dv_l
+        return best
+
+
+class GraphSearchBackend:
+    """Dijkstra (optionally ALT-directed) over the CSR arrays.
+
+    Searches return their settled set so the facade can opportunistically
+    cache every ``(source, settled_node)`` distance, which amortises repeated
+    queries from popular locations (vehicle positions).
+    """
+
+    name = "dijkstra"
+
+    def __init__(
+        self, data: RoutingData, *, num_landmarks: int = 0, seed: int = 13
+    ) -> None:
+        self.data = data
+        self.csr = data.csr
+        self._landmarks: _LandmarkTable | None = None
+        if num_landmarks > 0:
+            self.name = "alt"
+            self._landmarks = _LandmarkTable(data.csr, num_landmarks, seed)
+
+    # ------------------------------------------------------------------ #
+    def search(
+        self, source: int, target: int, *, want_parents: bool = False
+    ) -> tuple[float, dict[int, float], dict[int, int]]:
+        """Point-to-point search with early termination at ``target``.
+
+        Returns ``(distance, settled, parents)``; ``settled`` maps dense node
+        indices to exact distances from ``source`` and ``parents`` is only
+        filled when ``want_parents`` is set.
+        """
+        csr = self.csr
+        indptr, indices, weights = csr.indptr, csr.indices, csr.weights
+        landmarks = self._landmarks
+        inf = math.inf
+        dist: dict[int, float] = {source: 0.0}
+        parents: dict[int, int] = {}
+        settled: dict[int, float] = {}
+        potential = landmarks.lower_bound(source, target) if landmarks else 0.0
+        heap: list[tuple[float, int]] = [(potential, source)]
+        target_distance = inf
+        while heap:
+            _, node = heapq.heappop(heap)
+            if node in settled:
+                continue
+            node_dist = dist[node]
+            settled[node] = node_dist
+            if node == target:
+                target_distance = node_dist
+                break
+            for e in range(indptr[node], indptr[node + 1]):
+                succ = indices[e]
+                if succ in settled:
+                    continue
+                candidate = node_dist + weights[e]
+                if candidate < dist.get(succ, inf):
+                    dist[succ] = candidate
+                    if want_parents:
+                        parents[succ] = node
+                    key = candidate
+                    if landmarks is not None:
+                        key += landmarks.lower_bound(succ, target)
+                    heapq.heappush(heap, (key, succ))
+        return target_distance, settled, parents
+
+    def search_multi(
+        self, source: int, targets: set[int], *, reverse: bool = False
+    ) -> tuple[dict[int, float], dict[int, float]]:
+        """Plain Dijkstra from ``source`` until every target is settled.
+
+        Returns ``(target_distances, settled)``; unreached targets map to
+        ``math.inf``.  With ``reverse`` the distances run *to* ``source``
+        (used when one target is shared by many sources).
+        """
+        dist_list, settled_indices = self.csr.sssp(
+            source, targets=set(targets), reverse=reverse
+        )
+        settled = {index: dist_list[index] for index in settled_indices}
+        return {t: dist_list[t] for t in targets}, settled
+
+
+# ---------------------------------------------------------------------- #
+# preprocessed backends
+# ---------------------------------------------------------------------- #
+class CHBackend:
+    """Bidirectional upward queries over the contraction hierarchy."""
+
+    name = "ch"
+
+    def __init__(self, data: RoutingData) -> None:
+        self.data = data
+        self.hierarchy = data.hierarchy
+
+    def one_to_one(self, source: int, target: int) -> tuple[float, int]:
+        """Return ``(distance, settled_count)`` for one index pair."""
+        return self.hierarchy.query(source, target)
+
+    def many_to_many(
+        self, sources: Sequence[int], targets: Sequence[int]
+    ) -> tuple[dict[tuple[int, int], float], int]:
+        """Loop of bidirectional queries (no bucket structure to share)."""
+        table: dict[tuple[int, int], float] = {}
+        work = 0
+        for s in set(sources):
+            for t in set(targets):
+                distance, settled = self.hierarchy.query(s, t)
+                table[(s, t)] = distance
+                work += settled
+        return table, work
+
+    def estimated_memory_bytes(self) -> int:
+        return self.hierarchy.estimated_memory_bytes()
+
+
+class HubLabelBackend:
+    """Sorted-label-merge queries over the extracted hub labels."""
+
+    name = "hub_label"
+
+    def __init__(self, data: RoutingData) -> None:
+        self.data = data
+        self.labeling = data.labeling
+
+    def one_to_one(self, source: int, target: int) -> tuple[float, int]:
+        """Return ``(distance, label_entries_scanned)`` for one index pair."""
+        return self.labeling.query(source, target)
+
+    def many_to_many(
+        self, sources: Sequence[int], targets: Sequence[int]
+    ) -> tuple[dict[tuple[int, int], float], int]:
+        """Bucket join over the labels of all sources and targets."""
+        return self.labeling.many_to_many(sources, targets)
+
+    def estimated_memory_bytes(self) -> int:
+        return self.labeling.estimated_memory_bytes()
+
+
+def make_backend(
+    name: str,
+    data: RoutingData,
+    *,
+    num_landmarks: int = 0,
+    seed: int = 13,
+):
+    """Instantiate the backend ``name`` over shared routing ``data``.
+
+    ``num_landmarks > 0`` upgrades ``dijkstra`` to ``alt`` for backward
+    compatibility with the pre-backend oracle constructor.
+    """
+    key = name.lower()
+    if key == "dijkstra" and num_landmarks > 0:
+        key = "alt"
+    if key == "dijkstra":
+        return GraphSearchBackend(data)
+    if key == "alt":
+        return GraphSearchBackend(
+            data, num_landmarks=max(num_landmarks, 4), seed=seed
+        )
+    if key == "ch":
+        return CHBackend(data)
+    if key == "hub_label":
+        return HubLabelBackend(data)
+    raise NetworkError(
+        f"unknown routing backend {name!r}; choose from {BACKEND_NAMES}"
+    )

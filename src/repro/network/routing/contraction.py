@@ -1,0 +1,248 @@
+"""Contraction Hierarchies (CH) preprocessor and bidirectional query.
+
+The preprocessor contracts nodes one by one in increasing "importance",
+inserting *shortcut* edges that preserve shortest-path distances among the
+nodes not yet contracted.  Importance is the classic lazy-updated
+edge-difference heuristic (shortcuts added minus edges removed, plus a
+deleted-neighbours term that spreads contraction evenly across the graph).
+Whether a shortcut ``u -> x`` is needed when contracting ``v`` is decided by
+a bounded *witness search*: a Dijkstra from ``u`` in the remaining overlay
+that ignores ``v`` -- if it reaches ``x`` within ``w(u,v) + w(v,x)`` the
+shortcut is redundant.  The witness search is capped (settle limit + cost
+cap), which can only add redundant shortcuts, never lose correctness.
+
+Queries run a bidirectional Dijkstra that only relaxes edges leading to
+higher-ranked nodes; the answer is the minimum of ``d_f(m) + d_b(m)`` over
+all meeting nodes ``m``.  The same upward searches, run to exhaustion,
+produce the hub labels of :mod:`repro.network.routing.hub_labels`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from .csr import CSRGraph
+
+#: Witness searches stop after settling this many nodes; a smaller limit
+#: speeds preprocessing up at the price of a few redundant shortcuts.
+DEFAULT_WITNESS_LIMIT = 80
+
+
+class ContractionHierarchy:
+    """A CH overlay (ranks + upward adjacencies) over a :class:`CSRGraph`."""
+
+    __slots__ = ("csr", "rank", "up_fwd", "up_bwd", "num_shortcuts", "_witness_limit")
+
+    def __init__(self, csr: CSRGraph, *, witness_limit: int = DEFAULT_WITNESS_LIMIT) -> None:
+        self.csr = csr
+        self._witness_limit = max(int(witness_limit), 1)
+        n = csr.num_nodes
+        #: Contraction order: ``rank[i] == 0`` is contracted first.
+        self.rank: list[int] = [0] * n
+        #: ``up_fwd[i]`` -- outgoing edges of ``i`` into higher-ranked nodes.
+        self.up_fwd: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        #: ``up_bwd[i]`` -- incoming edges of ``i`` from higher-ranked nodes.
+        self.up_bwd: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        self.num_shortcuts = 0
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # preprocessing
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        csr = self.csr
+        n = csr.num_nodes
+        # Dynamic overlay of the not-yet-contracted graph.  Dicts keep the
+        # minimum weight per (u, v) pair when shortcuts parallel real edges.
+        fwd: list[dict[int, float]] = [{} for _ in range(n)]
+        bwd: list[dict[int, float]] = [{} for _ in range(n)]
+        for u in range(n):
+            for v, w in csr.out_edges(u):
+                old = fwd[u].get(v)
+                if old is None or w < old:
+                    fwd[u][v] = w
+                    bwd[v][u] = w
+        deleted_neighbors = [0] * n
+        contracted = [False] * n
+
+        def priority(v: int) -> int:
+            shortcuts = self._count_shortcuts(v, fwd, bwd, contracted)
+            return shortcuts - len(fwd[v]) - len(bwd[v]) + deleted_neighbors[v]
+
+        heap = [(priority(v), v) for v in range(n)]
+        heapq.heapify(heap)
+        order = 0
+        while heap:
+            _, v = heapq.heappop(heap)
+            if contracted[v]:
+                continue
+            # Lazy update: re-evaluate and push back when no longer minimal.
+            current = priority(v)
+            if heap and current > heap[0][0]:
+                heapq.heappush(heap, (current, v))
+                continue
+            self._contract(v, fwd, bwd, contracted, deleted_neighbors)
+            self.rank[v] = order
+            order += 1
+
+    def _count_shortcuts(
+        self,
+        v: int,
+        fwd: list[dict[int, float]],
+        bwd: list[dict[int, float]],
+        contracted: list[bool],
+    ) -> int:
+        return sum(len(pairs) for _, pairs in self._needed_shortcuts(v, fwd, bwd, contracted))
+
+    def _needed_shortcuts(
+        self,
+        v: int,
+        fwd: list[dict[int, float]],
+        bwd: list[dict[int, float]],
+        contracted: list[bool],
+    ):
+        """Yield ``(u, [(x, weight), ...])`` shortcut groups for contracting ``v``."""
+        out_edges = [(x, w) for x, w in fwd[v].items() if not contracted[x]]
+        if not out_edges:
+            return
+        max_out = max(w for _, w in out_edges)
+        for u, w_in in bwd[v].items():
+            if contracted[u] or u == v:
+                continue
+            witness = self._witness_search(u, v, w_in + max_out, fwd, contracted)
+            needed = []
+            for x, w_out in out_edges:
+                if x == u:
+                    continue
+                through = w_in + w_out
+                if witness.get(x, math.inf) > through:
+                    needed.append((x, through))
+            if needed:
+                yield u, needed
+
+    def _witness_search(
+        self,
+        source: int,
+        skip: int,
+        cap: float,
+        fwd: list[dict[int, float]],
+        contracted: list[bool],
+    ) -> dict[int, float]:
+        """Bounded Dijkstra from ``source`` in the overlay, avoiding ``skip``."""
+        dist = {source: 0.0}
+        heap = [(0.0, source)]
+        settled = 0
+        limit = self._witness_limit
+        while heap and settled < limit:
+            d, node = heapq.heappop(heap)
+            if d > dist.get(node, math.inf):
+                continue
+            if d > cap:
+                break
+            settled += 1
+            for succ, w in fwd[node].items():
+                if succ == skip or contracted[succ]:
+                    continue
+                candidate = d + w
+                if candidate < dist.get(succ, math.inf):
+                    dist[succ] = candidate
+                    heapq.heappush(heap, (candidate, succ))
+        return dist
+
+    def _contract(
+        self,
+        v: int,
+        fwd: list[dict[int, float]],
+        bwd: list[dict[int, float]],
+        contracted: list[bool],
+        deleted_neighbors: list[int],
+    ) -> None:
+        # Materialise the needed shortcuts *before* removing v.
+        for u, needed in self._needed_shortcuts(v, fwd, bwd, contracted):
+            for x, through in needed:
+                old = fwd[u].get(x)
+                if old is None or through < old:
+                    fwd[u][x] = through
+                    bwd[x][u] = through
+                    if old is None:
+                        self.num_shortcuts += 1
+        # The edges incident to v at contraction time become the upward
+        # adjacency of v: every surviving endpoint outranks v by construction.
+        self.up_fwd[v] = [(x, w) for x, w in fwd[v].items() if not contracted[x]]
+        self.up_bwd[v] = [(u, w) for u, w in bwd[v].items() if not contracted[u]]
+        for x in fwd[v]:
+            bwd[x].pop(v, None)
+            deleted_neighbors[x] += 1
+        for u in bwd[v]:
+            fwd[u].pop(v, None)
+            deleted_neighbors[u] += 1
+        fwd[v] = {}
+        bwd[v] = {}
+        contracted[v] = True
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query(self, source_index: int, target_index: int) -> tuple[float, int]:
+        """Bidirectional upward Dijkstra; returns ``(distance, settled)``."""
+        if source_index == target_index:
+            return 0.0, 0
+        best = math.inf
+        settled_total = 0
+        forward_dist = self._upward_scan(source_index, self.up_fwd)
+        # Run the backward scan with pruning against the forward distances.
+        dist = {target_index: 0.0}
+        heap = [(0.0, target_index)]
+        while heap:
+            d, node = heapq.heappop(heap)
+            if d > dist.get(node, math.inf):
+                continue
+            settled_total += 1
+            if d >= best:
+                break
+            other = forward_dist.get(node)
+            if other is not None and other + d < best:
+                best = other + d
+            for pred, w in self.up_bwd[node]:
+                candidate = d + w
+                if candidate < dist.get(pred, math.inf):
+                    dist[pred] = candidate
+                    heapq.heappush(heap, (candidate, pred))
+        settled_total += len(forward_dist)
+        return best, settled_total
+
+    def _upward_scan(self, start: int, adjacency: list[list[tuple[int, float]]]) -> dict[int, float]:
+        """Exhaustive upward Dijkstra from ``start`` (the CH search space)."""
+        dist = {start: 0.0}
+        heap = [(0.0, start)]
+        while heap:
+            d, node = heapq.heappop(heap)
+            if d > dist.get(node, math.inf):
+                continue
+            for succ, w in adjacency[node]:
+                candidate = d + w
+                if candidate < dist.get(succ, math.inf):
+                    dist[succ] = candidate
+                    heapq.heappush(heap, (candidate, succ))
+        return dist
+
+    def forward_search_space(self, index: int) -> dict[int, float]:
+        """Upward distances from ``index`` (basis of its forward hub label)."""
+        return self._upward_scan(index, self.up_fwd)
+
+    def backward_search_space(self, index: int) -> dict[int, float]:
+        """Upward distances *to* ``index`` (basis of its backward hub label)."""
+        return self._upward_scan(index, self.up_bwd)
+
+    def estimated_memory_bytes(self) -> int:
+        """Rough footprint of the upward adjacencies."""
+        entries = sum(len(edges) for edges in self.up_fwd)
+        entries += sum(len(edges) for edges in self.up_bwd)
+        return 48 * entries + 8 * len(self.rank)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ContractionHierarchy(nodes={self.csr.num_nodes}, "
+            f"shortcuts={self.num_shortcuts})"
+        )

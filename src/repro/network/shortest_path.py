@@ -4,37 +4,50 @@ The paper answers ``cost(u, v)`` queries with hub labeling [50] fronted by an
 LRU cache [40] and reports the number of shortest-path queries as one of the
 ablation metrics (Tables V and VI).  This module reproduces that interface:
 
-* :class:`DistanceOracle` -- ``cost(u, v)`` / ``path(u, v)`` queries answered
-  by Dijkstra with early termination, an LRU pair cache, and optional
-  landmark (ALT) lower bounds used as A* potentials.
+* :class:`DistanceOracle` -- a facade over the pluggable routing backends of
+  :mod:`repro.network.routing` (``dijkstra`` | ``alt`` | ``ch`` |
+  ``hub_label``), fronted by an LRU pair cache.  ``cost(u, v)`` /
+  ``path(u, v)`` answer point queries and :meth:`DistanceOracle.many_to_many`
+  answers batched source x target tables (hub labels use a bucket join there
+  instead of per-pair merges).
 * :class:`QueryStatistics` -- counts logical queries, cache hits and the
-  number of full graph searches, so experiments can report the same
-  "#Shortest Path Queries" column as the paper.
+  number of backend searches, so experiments report the same
+  "#Shortest Path Queries" column as the paper *uniformly across backends*:
+  ``queries`` counts logical demand and is independent of the backend, while
+  ``searches`` / ``settled_nodes`` describe the work the backend did.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
-import random
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from collections.abc import Sequence
+from dataclasses import dataclass
 
 from ..exceptions import NetworkError, UnreachableError
 from .road_network import RoadNetwork
+from .routing.backends import (
+    BACKEND_NAMES,
+    GraphSearchBackend,
+    HubLabelBackend,
+    make_backend,
+    routing_data,
+)
 
 
 @dataclass
 class QueryStatistics:
     """Counters describing how the oracle has been used."""
 
-    #: Logical ``cost``/``path`` queries issued by callers.
+    #: Logical ``cost``/``path``/``many_to_many`` queries issued by callers.
     queries: int = 0
     #: Queries answered directly from the LRU pair cache.
     cache_hits: int = 0
-    #: Dijkstra / A* searches actually executed.
+    #: Backend searches actually executed (graph searches, CH queries or
+    #: label merges, depending on the backend).
     searches: int = 0
-    #: Total number of node settlements across all searches (work proxy).
+    #: Total number of node settlements / label entries scanned across all
+    #: searches (work proxy).
     settled_nodes: int = 0
 
     def reset(self) -> None:
@@ -54,32 +67,6 @@ class QueryStatistics:
         }
 
 
-@dataclass
-class _LandmarkTable:
-    """Distances from / to a set of landmark nodes, used for ALT lower bounds."""
-
-    landmarks: list[int] = field(default_factory=list)
-    #: ``forward[i][v]`` = distance landmark_i -> v.
-    forward: list[dict[int, float]] = field(default_factory=list)
-    #: ``backward[i][v]`` = distance v -> landmark_i.
-    backward: list[dict[int, float]] = field(default_factory=list)
-
-    def lower_bound(self, u: int, v: int) -> float:
-        """Triangle-inequality lower bound on ``dist(u, v)``."""
-        best = 0.0
-        for fwd, bwd in zip(self.forward, self.backward):
-            # d(L, v) - d(L, u) <= d(u, v) and d(u, L) - d(v, L) <= d(u, v)
-            dl_v = fwd.get(v, math.inf)
-            dl_u = fwd.get(u, math.inf)
-            if dl_v < math.inf and dl_u < math.inf:
-                best = max(best, dl_v - dl_u)
-            du_l = bwd.get(u, math.inf)
-            dv_l = bwd.get(v, math.inf)
-            if du_l < math.inf and dv_l < math.inf:
-                best = max(best, du_l - dv_l)
-        return best
-
-
 class DistanceOracle:
     """Cached travel-time oracle over a :class:`RoadNetwork`.
 
@@ -89,13 +76,21 @@ class DistanceOracle:
         The road network to query.
     cache_size:
         Maximum number of ``(source, target) -> cost`` entries kept in the
-        LRU cache.  When a Dijkstra search terminates, every settled node is
+        LRU cache.  When a graph search terminates, every settled node is
         opportunistically cached for the same source, which amortises the
-        cost of repeated queries from popular locations (vehicle positions).
+        cost of repeated queries from popular locations (vehicle positions);
+        the preprocessed backends cache only the queried pair (their queries
+        are cheap enough not to need the amortisation).
+    backend:
+        One of :data:`repro.network.routing.BACKEND_NAMES`.  ``dijkstra``
+        searches the CSR graph per query; ``alt`` adds landmark potentials;
+        ``ch`` preprocesses a contraction hierarchy and answers with
+        bidirectional upward searches; ``hub_label`` additionally extracts
+        hub labels and answers with sorted-label merges (the paper's setup).
+        Preprocessing is shared between oracles over the same network.
     num_landmarks:
-        Number of landmark nodes used for ALT (A*, landmarks, triangle
-        inequality) goal-directed search.  ``0`` disables the heuristic and
-        plain Dijkstra with early termination is used.
+        Number of ALT landmarks.  Kept for backward compatibility: a positive
+        value upgrades the ``dijkstra`` backend to ``alt``.
     seed:
         Seed for the landmark selection.
     """
@@ -107,6 +102,7 @@ class DistanceOracle:
         cache_size: int = 200_000,
         num_landmarks: int = 0,
         seed: int = 13,
+        backend: str = "dijkstra",
     ) -> None:
         if cache_size < 0:
             raise NetworkError("cache_size must be non-negative")
@@ -114,9 +110,16 @@ class DistanceOracle:
         self._cache_size = cache_size
         self._cache: OrderedDict[tuple[int, int], float] = OrderedDict()
         self.stats = QueryStatistics()
-        self._landmarks: _LandmarkTable | None = None
-        if num_landmarks > 0:
-            self._landmarks = self._build_landmarks(num_landmarks, seed)
+        self._data = routing_data(network)
+        self._backend = make_backend(
+            backend, self._data, num_landmarks=num_landmarks, seed=seed
+        )
+        #: Graph searcher used for ``path`` queries (and as the ``dijkstra``
+        #: / ``alt`` cost backend).  Preprocessed backends skip shortcut
+        #: unpacking and reuse this searcher when an explicit path is needed.
+        self._searcher: GraphSearchBackend | None = (
+            self._backend if isinstance(self._backend, GraphSearchBackend) else None
+        )
 
     # ------------------------------------------------------------------ #
     # public API
@@ -125,6 +128,11 @@ class DistanceOracle:
     def network(self) -> RoadNetwork:
         """The underlying road network."""
         return self._network
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the active routing backend."""
+        return self._backend.name
 
     def cost(self, source: int, target: int) -> float:
         """Minimum travel time from ``source`` to ``target`` in seconds.
@@ -136,30 +144,96 @@ class DistanceOracle:
         self.stats.queries += 1
         if source == target:
             return 0.0
-        key = (source, target)
-        cached = self._cache_get(key)
+        cached = self._cache_get((source, target))
         if cached is not None:
             self.stats.cache_hits += 1
             return cached
-        distance = self._search(source, target)
-        return distance
+        return self._compute(source, target)
 
     def path(self, source: int, target: int) -> list[int]:
         """Sequence of nodes of a shortest path from ``source`` to ``target``.
 
-        Raises :class:`UnreachableError` if no path exists.
+        Always answered by a graph search (with ALT potentials when the
+        ``alt`` backend is active): the preprocessed backends would need
+        shortcut unpacking to produce node sequences, and path queries are
+        rare outside visualisation.  Raises :class:`UnreachableError` if no
+        path exists.
         """
         self.stats.queries += 1
         if source == target:
             return [source]
-        distance, parents = self._search(source, target, want_parents=True)
+        csr = self._data.csr
+        source_index = csr.require_index(source)
+        target_index = csr.require_index(target)
+        self.stats.searches += 1
+        distance, settled, parents = self._path_searcher().search(
+            source_index, target_index, want_parents=True
+        )
+        self.stats.settled_nodes += len(settled)
+        self._cache_settled(source, settled)
         if math.isinf(distance):
             raise UnreachableError(f"node {target} is unreachable from {source}")
-        path = [target]
-        while path[-1] != source:
-            path.append(parents[path[-1]])
-        path.reverse()
-        return path
+        indices = [target_index]
+        while indices[-1] != source_index:
+            indices.append(parents[indices[-1]])
+        indices.reverse()
+        node_ids = csr.node_ids
+        return [node_ids[index] for index in indices]
+
+    def many_to_many(
+        self, sources: Sequence[int], targets: Sequence[int]
+    ) -> dict[tuple[int, int], float]:
+        """Batched ``cost`` table over ``sources`` x ``targets``.
+
+        Semantically identical to a nested ``cost`` loop -- every (deduped)
+        pair counts as one logical query and cached pairs count as cache
+        hits -- but cache misses are answered in bulk: the ``hub_label``
+        backend runs one bucket join over all labels, ``ch`` loops its
+        bidirectional queries, and the graph-search backends run one
+        multi-target Dijkstra per distinct source.  Returns a dictionary
+        mapping ``(source, target)`` to travel time (``math.inf`` when
+        unreachable).
+        """
+        sources = list(dict.fromkeys(sources))
+        targets = list(dict.fromkeys(targets))
+        result: dict[tuple[int, int], float] = {}
+        missing: list[tuple[int, int]] = []
+        for source in sources:
+            for target in targets:
+                self.stats.queries += 1
+                if source == target:
+                    result[(source, target)] = 0.0
+                    continue
+                cached = self._cache_get((source, target))
+                if cached is not None:
+                    self.stats.cache_hits += 1
+                    result[(source, target)] = cached
+                else:
+                    missing.append((source, target))
+        if missing:
+            self._compute_many(missing, result)
+        return result
+
+    def prefetch(self, sources: Sequence[int], targets: Sequence[int]) -> None:
+        """Warm the pair cache for ``sources`` x ``targets`` in bulk.
+
+        Unlike :meth:`many_to_many` this is an optimisation hint, not caller
+        demand: the backend work is batched exactly the same way (and counted
+        in ``searches`` / ``settled_nodes``), but the ``queries`` /
+        ``cache_hits`` counters are left untouched so the paper's
+        "#Shortest Path Queries" column keeps reflecting the *logical* query
+        pattern of the dispatch algorithms, independent of cache warming.
+        """
+        if self._cache_size == 0:
+            return
+        missing = [
+            (source, target)
+            for source in dict.fromkeys(sources)
+            for target in dict.fromkeys(targets)
+            if source != target and self._cache_get((source, target)) is None
+        ]
+        if missing:
+            self._compute_many(missing, {})
 
     def route_cost(self, nodes: list[int]) -> float:
         """Total travel time of the node sequence ``nodes`` (consecutive legs)."""
@@ -178,10 +252,11 @@ class DistanceOracle:
         return len(self._cache)
 
     def estimated_memory_bytes(self) -> int:
-        """Rough memory footprint of the cache (for the memory study)."""
-        # Each entry: two ints + a float + dict overhead, ~100 bytes is a fair
-        # order-of-magnitude figure for CPython.
-        return 100 * len(self._cache)
+        """Rough memory footprint of the cache plus preprocessed structures."""
+        # Each cache entry: two ints + a float + dict overhead, ~100 bytes is
+        # a fair order-of-magnitude figure for CPython.
+        preprocessed = getattr(self._backend, "estimated_memory_bytes", lambda: 0)()
+        return 100 * len(self._cache) + preprocessed
 
     # ------------------------------------------------------------------ #
     # internals
@@ -202,91 +277,107 @@ class DistanceOracle:
         while len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)
 
-    def _heuristic(self, node: int, target: int) -> float:
-        if self._landmarks is None:
-            return 0.0
-        return self._landmarks.lower_bound(node, target)
+    def _cache_settled(
+        self, anchor: int, settled: dict[int, float], *, reverse: bool = False
+    ) -> None:
+        node_ids = self._data.csr.node_ids
+        if reverse:
+            for index, distance in settled.items():
+                self._cache_put((node_ids[index], anchor), distance)
+        else:
+            for index, distance in settled.items():
+                self._cache_put((anchor, node_ids[index]), distance)
 
-    def _search(self, source: int, target: int, *, want_parents: bool = False):
-        """Dijkstra / A* with early termination at ``target``."""
-        network = self._network
-        if not network.has_node(source) or not network.has_node(target):
-            raise NetworkError(f"unknown endpoint in query ({source}, {target})")
+    def _path_searcher(self) -> GraphSearchBackend:
+        if self._searcher is None:
+            self._searcher = GraphSearchBackend(self._data)
+        return self._searcher
+
+    def _compute(self, source: int, target: int) -> float:
+        csr = self._data.csr
+        source_index = csr.require_index(source)
+        target_index = csr.require_index(target)
+        backend = self._backend
         self.stats.searches += 1
-        dist: dict[int, float] = {source: 0.0}
-        parents: dict[int, int] = {}
-        settled: set[int] = set()
-        heap: list[tuple[float, int]] = [(self._heuristic(source, target), source)]
-        target_distance = math.inf
-        while heap:
-            _, node = heapq.heappop(heap)
-            if node in settled:
-                continue
-            settled.add(node)
-            self.stats.settled_nodes += 1
-            node_dist = dist[node]
-            self._cache_put((source, node), node_dist)
-            if node == target:
-                target_distance = node_dist
-                break
-            for succ, cost in network.neighbors(node):
-                if succ in settled:
-                    continue
-                candidate = node_dist + cost
-                if candidate < dist.get(succ, math.inf):
-                    dist[succ] = candidate
-                    parents[succ] = node
-                    heapq.heappush(
-                        heap, (candidate + self._heuristic(succ, target), succ)
+        if isinstance(backend, GraphSearchBackend):
+            distance, settled, _ = backend.search(source_index, target_index)
+            self.stats.settled_nodes += len(settled)
+            self._cache_settled(source, settled)
+            if math.isinf(distance):
+                self._cache_put((source, target), math.inf)
+        else:
+            distance, work = backend.one_to_one(source_index, target_index)
+            self.stats.settled_nodes += work
+            self._cache_put((source, target), distance)
+        return distance
+
+    def _compute_many(
+        self,
+        missing: list[tuple[int, int]],
+        result: dict[tuple[int, int], float],
+    ) -> None:
+        csr = self._data.csr
+        backend = self._backend
+        if isinstance(backend, GraphSearchBackend):
+            # One multi-target search per group; searching from the smaller
+            # side (reverse Dijkstra when one target serves many sources,
+            # e.g. candidate vehicles converging on one pick-up) minimises
+            # the number of searches.
+            by_source: dict[int, list[int]] = {}
+            by_target: dict[int, list[int]] = {}
+            for source, target in missing:
+                by_source.setdefault(source, []).append(target)
+                by_target.setdefault(target, []).append(source)
+            reverse = len(by_target) < len(by_source)
+            groups = by_target if reverse else by_source
+            for anchor, others in groups.items():
+                anchor_index = csr.require_index(anchor)
+                index_of_other = {csr.require_index(o): o for o in others}
+                self.stats.searches += 1
+                distances, settled = backend.search_multi(
+                    anchor_index, set(index_of_other), reverse=reverse
+                )
+                self.stats.settled_nodes += len(settled)
+                self._cache_settled(anchor, settled, reverse=reverse)
+                for other_index, other in index_of_other.items():
+                    distance = distances[other_index]
+                    key = (other, anchor) if reverse else (anchor, other)
+                    result[key] = distance
+                    if math.isinf(distance):
+                        self._cache_put(key, math.inf)
+            return
+        if isinstance(backend, HubLabelBackend):
+            # One bucket join over all labels involved.  The join naturally
+            # produces the dense cross product, so every computed entry goes
+            # into the cache -- not just the requested pairs.
+            source_indices = {csr.require_index(s) for s, _ in missing}
+            target_indices = {csr.require_index(t) for _, t in missing}
+            table, work = backend.many_to_many(
+                list(source_indices), list(target_indices)
+            )
+            self.stats.searches += len(missing)
+            self.stats.settled_nodes += work
+            node_ids = csr.node_ids
+            for (source_index, target_index), distance in table.items():
+                if source_index != target_index:
+                    self._cache_put(
+                        (node_ids[source_index], node_ids[target_index]), distance
                     )
-        if math.isinf(target_distance):
-            self._cache_put((source, target), math.inf)
-        if want_parents:
-            return target_distance, parents
-        return target_distance
+            for source, target in missing:
+                result[(source, target)] = table[
+                    (csr.index_of[source], csr.index_of[target])
+                ]
+            return
+        # CH has no cross-pair structure to share: answer exactly the
+        # missing pairs with bidirectional queries.
+        for source, target in missing:
+            distance, work = backend.one_to_one(
+                csr.require_index(source), csr.require_index(target)
+            )
+            self.stats.searches += 1
+            self.stats.settled_nodes += work
+            result[(source, target)] = distance
+            self._cache_put((source, target), distance)
 
-    def _single_source(self, source: int, *, reverse: bool = False) -> dict[int, float]:
-        """Full Dijkstra from ``source`` (or to it when ``reverse``)."""
-        network = self._network
-        dist: dict[int, float] = {source: 0.0}
-        heap: list[tuple[float, int]] = [(0.0, source)]
-        settled: set[int] = set()
-        while heap:
-            node_dist, node = heapq.heappop(heap)
-            if node in settled:
-                continue
-            settled.add(node)
-            edges = network.predecessors(node) if reverse else network.neighbors(node)
-            for other, cost in edges:
-                if other in settled:
-                    continue
-                candidate = node_dist + cost
-                if candidate < dist.get(other, math.inf):
-                    dist[other] = candidate
-                    heapq.heappush(heap, (candidate, other))
-        return dist
 
-    def _build_landmarks(self, count: int, seed: int) -> _LandmarkTable:
-        nodes = list(self._network.nodes())
-        if not nodes:
-            return _LandmarkTable()
-        rng = random.Random(seed)
-        count = min(count, len(nodes))
-        # Farthest-point style selection: start random, then repeatedly pick
-        # the node farthest (in forward distance) from the chosen set.
-        landmarks = [rng.choice(nodes)]
-        forward = [self._single_source(landmarks[0])]
-        while len(landmarks) < count:
-            best_node, best_score = None, -1.0
-            for node in nodes:
-                score = min(table.get(node, math.inf) for table in forward)
-                if math.isinf(score):
-                    continue
-                if score > best_score:
-                    best_node, best_score = node, score
-            if best_node is None:
-                break
-            landmarks.append(best_node)
-            forward.append(self._single_source(best_node))
-        backward = [self._single_source(lm, reverse=True) for lm in landmarks]
-        return _LandmarkTable(landmarks=landmarks, forward=forward, backward=backward)
+__all__ = ["DistanceOracle", "QueryStatistics", "BACKEND_NAMES"]

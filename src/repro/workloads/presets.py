@@ -105,9 +105,21 @@ class Workload:
             seed_offset=self._vehicle_seed_offset,
         )
 
-    def fresh_oracle(self, *, cache_size: int = 200_000) -> DistanceOracle:
-        """A new distance oracle with clean statistics over the same network."""
-        return DistanceOracle(self.network, cache_size=cache_size)
+    def fresh_oracle(
+        self, *, cache_size: int = 200_000, backend: str | None = None
+    ) -> DistanceOracle:
+        """A new distance oracle with clean statistics over the same network.
+
+        The routing backend defaults to the simulation configuration's
+        ``routing_backend``; the preprocessed structures (CSR / hierarchy /
+        labels) are shared across oracles over the same network, so a fresh
+        oracle only resets the cache and the statistics.
+        """
+        return DistanceOracle(
+            self.network,
+            cache_size=cache_size,
+            backend=backend or self.simulation_config.routing_backend,
+        )
 
     @property
     def num_requests(self) -> int:
@@ -162,7 +174,7 @@ def make_workload(
     if simulation_overrides:
         simulation_config = simulation_config.with_overrides(**simulation_overrides)
     network = make_city(entry["city"], scale=city_scale)
-    oracle = DistanceOracle(network)
+    oracle = DistanceOracle(network, backend=simulation_config.routing_backend)
     generator = RequestGenerator(network, oracle, workload_config, simulation_config)
     requests = generator.generate()
     return Workload(
