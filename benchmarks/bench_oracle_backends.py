@@ -10,9 +10,16 @@ the timings:
 * the preprocessed backends return the same distances as plain Dijkstra
   (within 1e-6), and the ``hub_label`` backend is at least 5x faster on
   repeated cost queries;
+* ``path()`` is exact on every backend: the unpacked CH paths sum to the
+  reference distance edge by edge;
 * every dispatcher produces *identical assignments* across all four backends
   on a fixed-seed scenario, so switching backends is purely a performance
   decision.
+
+The table records preprocessing time (``build ms``) and per-query settled
+nodes / scanned label entries (``settled/q``) per backend, so node-ordering
+or stall-on-demand regressions in the CH preprocessor are visible in the CI
+benchmark artifacts, not just in wall-clock noise.
 
 Run directly (``python benchmarks/bench_oracle_backends.py``) for the full
 table, or through pytest like the other benchmarks.
@@ -64,11 +71,13 @@ def measure_backends() -> list[dict]:
         oracle.cost(*pairs[0])  # force the lazy preprocessing
         build_seconds = time.perf_counter() - build_start
         costs = {pair: oracle.cost(*pair) for pair in pairs}
+        oracle.stats.reset()
         query_start = time.perf_counter()
         for _ in range(REPEATS):
             for u, v in pairs:
                 oracle.cost(u, v)
         query_seconds = time.perf_counter() - query_start
+        settled_per_query = oracle.stats.settled_nodes / oracle.stats.searches
         if name == "dijkstra":
             reference = costs
         max_error = max(
@@ -76,12 +85,20 @@ def measure_backends() -> list[dict]:
             for pair in pairs
             if math.isfinite(reference[pair])
         )
+        # path() must be exact on every backend (unpacked CH paths included).
+        for u, v in pairs[:25]:
+            if not math.isfinite(reference[(u, v)]):
+                continue
+            path = oracle.path(u, v)
+            total = sum(city.edge_cost(a, b) for a, b in zip(path, path[1:]))
+            assert abs(total - reference[(u, v)]) < 1e-6, (name, u, v)
         rows.append(
             {
                 "backend": name,
                 "build_ms": build_seconds * 1e3,
                 "query_us": query_seconds / (REPEATS * NUM_PAIRS) * 1e6,
                 "queries_per_s": REPEATS * NUM_PAIRS / query_seconds,
+                "settled_per_query": settled_per_query,
                 "max_error": max_error,
             }
         )
@@ -96,12 +113,13 @@ def format_table(rows: list[dict]) -> str:
         "Routing backend microbenchmark "
         f"(NYC city at scale {CITY_SCALE}, {NUM_PAIRS} pairs x {REPEATS}, cache off)",
         f"{'backend':12s} {'build ms':>9s} {'query us':>9s} {'queries/s':>10s} "
-        f"{'speedup':>8s} {'max |err|':>10s}",
+        f"{'speedup':>8s} {'settled/q':>10s} {'max |err|':>10s}",
     ]
     for row in rows:
         lines.append(
             f"{row['backend']:12s} {row['build_ms']:9.1f} {row['query_us']:9.1f} "
-            f"{row['queries_per_s']:10.0f} {row['speedup']:7.1f}x {row['max_error']:10.2e}"
+            f"{row['queries_per_s']:10.0f} {row['speedup']:7.1f}x "
+            f"{row['settled_per_query']:10.1f} {row['max_error']:10.2e}"
         )
     return "\n".join(lines)
 
@@ -153,6 +171,13 @@ def test_backend_speedup():
         f"hub_label only {by_name['hub_label']['speedup']:.1f}x faster "
         f"than dijkstra (need {REQUIRED_SPEEDUP}x)"
     )
+    # Node-ordering / stall-on-demand regression gate: the pruned
+    # bidirectional CH query must do a small fraction of Dijkstra's work
+    # (measured ~48 vs ~160 settled per query at city scale 0.7).
+    assert (
+        by_name["ch"]["settled_per_query"]
+        < by_name["dijkstra"]["settled_per_query"] / 2
+    ), by_name["ch"]["settled_per_query"]
     save_text("oracle_backends", format_table(rows))
 
 

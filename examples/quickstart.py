@@ -47,6 +47,8 @@ def main() -> None:
     print(f"  dispatch time      : {metrics.dispatch_seconds:.2f} s "
           f"({metrics.num_batches} batches)")
     print(f"  shortest-path calls: {metrics.shortest_path_queries:,}")
+    print(f"  oracle searches    : {metrics.oracle_searches:,} "
+          f"({metrics.oracle_settled_nodes:,} nodes settled)")
 
     builder = dispatcher.builder
     if builder is not None:

@@ -30,12 +30,14 @@ class RoadNetwork:
         self._adjacency: dict[int, dict[int, float]] = {}
         self._reverse: dict[int, dict[int, float]] = {}
         self._num_edges = 0
+        self._mutations = 0
 
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
     def add_node(self, node: int, x: float, y: float) -> None:
         """Add (or move) a node with planar coordinates ``(x, y)``."""
+        self._mutations += 1
         if node in self._positions:
             self._positions[node] = (float(x), float(y))
             return
@@ -61,8 +63,19 @@ class RoadNetwork:
             self._num_edges += 1
         self._adjacency[u][v] = float(cost)
         self._reverse[v][u] = float(cost)
+        self._mutations += 1
         if bidirectional:
             self.add_edge(v, u, cost, bidirectional=False)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove the directed edge ``u -> v``."""
+        try:
+            del self._adjacency[u][v]
+        except KeyError as exc:
+            raise NetworkError(f"no edge between {u} and {v}") from exc
+        del self._reverse[v][u]
+        self._num_edges -= 1
+        self._mutations += 1
 
     # ------------------------------------------------------------------ #
     # queries
@@ -76,6 +89,18 @@ class RoadNetwork:
     def num_edges(self) -> int:
         """Number of directed edges in the network."""
         return self._num_edges
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic counter bumped on every structural mutation.
+
+        Every node addition/move and every edge add/reweight/removal bumps
+        it, so consumers holding preprocessed structures (the routing layer's
+        :func:`~repro.network.routing.backends.routing_data`) can detect
+        staleness in O(1) -- unlike a content checksum, two mutations can
+        never cancel out.
+        """
+        return self._mutations
 
     def nodes(self) -> Iterator[int]:
         """Iterate over node identifiers."""

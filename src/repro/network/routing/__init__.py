@@ -8,9 +8,12 @@ see :data:`BACKEND_NAMES`) and this package supplies the compiled structures:
 * :class:`~repro.network.routing.csr.CSRGraph` -- flat-array adjacency
   compiled once from the dict-based :class:`~repro.network.road_network.RoadNetwork`.
 * :class:`~repro.network.routing.contraction.ContractionHierarchy` --
-  shortcut overlay with edge-difference ordering and witness searches.
-* :class:`~repro.network.routing.hub_labels.HubLabeling` -- label extraction
-  from the hierarchy with sorted-merge and bucket-join queries.
+  shortcut overlay with edge-difference ordering and witness searches;
+  pruned bidirectional queries (stall-on-demand) and exact paths via
+  recursive shortcut unpacking.
+* :class:`~repro.network.routing.hub_labels.HubLabeling` -- stall-pruned
+  label extraction from the hierarchy with sorted-merge and bucket-join
+  queries.
 """
 
 from .backends import (

@@ -17,8 +17,10 @@ one of the backends in this module:
 
 Preprocessed structures (CSR arrays, the hierarchy, the labels) are expensive
 relative to a single query, so they are built lazily and shared across every
-oracle over the same :class:`RoadNetwork` through a weak-keyed cache with a
-structural fingerprint that invalidates on mutation.
+oracle over the same :class:`RoadNetwork` through a weak-keyed cache keyed on
+the network's monotonic mutation counter, which invalidates on mutation in
+O(1).  The preprocessed backends also answer ``path`` queries natively via
+CH shortcut unpacking -- no fallback graph search.
 """
 
 from __future__ import annotations
@@ -40,11 +42,16 @@ BACKEND_NAMES = ("dijkstra", "alt", "ch", "hub_label")
 
 
 def _fingerprint(network: RoadNetwork) -> tuple[int, int, int]:
-    """Cheap structural checksum used to invalidate shared routing data."""
-    checksum = 0
-    for u, v, w in network.edges():
-        checksum ^= hash((u, v, w))
-    return network.num_nodes, network.num_edges, checksum
+    """O(1) staleness token used to invalidate shared routing data.
+
+    Built on :attr:`RoadNetwork.mutation_count`, a monotonic counter bumped
+    on every mutation.  The previous implementation XOR-hashed all edge
+    triples, which was O(E) per oracle construction *and* unsound: mutation
+    sequences whose triple hashes cancel (e.g. removing and re-adding pairs
+    of identical edges around other changes) left the checksum unchanged and
+    served stale preprocessed structures.
+    """
+    return network.num_nodes, network.num_edges, network.mutation_count
 
 
 class RoutingData:
@@ -233,17 +240,28 @@ class CHBackend:
         return self.hierarchy.query(source, target)
 
     def many_to_many(
-        self, sources: Sequence[int], targets: Sequence[int]
+        self, pairs: Sequence[tuple[int, int]]
     ) -> tuple[dict[tuple[int, int], float], int]:
-        """Loop of bidirectional queries (no bucket structure to share)."""
+        """Answer exactly the requested index pairs, one query each.
+
+        CH has no cross-pair structure to share (unlike the hub-label bucket
+        join), so batching is a loop of bidirectional queries -- but over the
+        *requested* pairs only, never the dense cross product.
+        """
         table: dict[tuple[int, int], float] = {}
         work = 0
-        for s in set(sources):
-            for t in set(targets):
-                distance, settled = self.hierarchy.query(s, t)
-                table[(s, t)] = distance
-                work += settled
+        query = self.hierarchy.query
+        for s, t in pairs:
+            if (s, t) in table:
+                continue
+            distance, settled = query(s, t)
+            table[(s, t)] = distance
+            work += settled
         return table, work
+
+    def path(self, source: int, target: int) -> tuple[list[int] | None, float, int]:
+        """Shortest path as dense indices via shortcut unpacking."""
+        return self.hierarchy.path_query(source, target)
 
     def estimated_memory_bytes(self) -> int:
         return self.hierarchy.estimated_memory_bytes()
@@ -267,6 +285,15 @@ class HubLabelBackend:
     ) -> tuple[dict[tuple[int, int], float], int]:
         """Bucket join over the labels of all sources and targets."""
         return self.labeling.many_to_many(sources, targets)
+
+    def path(self, source: int, target: int) -> tuple[list[int] | None, float, int]:
+        """Shortest path via the hierarchy the labels were extracted from.
+
+        Labels alone answer distances; the node sequence comes from the same
+        shared :class:`ContractionHierarchy` (already built as the labels'
+        substrate) through meeting-node extraction plus shortcut unpacking.
+        """
+        return self.data.hierarchy.path_query(source, target)
 
     def estimated_memory_bytes(self) -> int:
         return self.labeling.estimated_memory_bytes()

@@ -4,17 +4,34 @@ The preprocessor contracts nodes one by one in increasing "importance",
 inserting *shortcut* edges that preserve shortest-path distances among the
 nodes not yet contracted.  Importance is the classic lazy-updated
 edge-difference heuristic (shortcuts added minus edges removed, plus a
-deleted-neighbours term that spreads contraction evenly across the graph).
+deleted-neighbours term that spreads contraction evenly across the graph);
+the shortcut count in the priority is a cheap 1-hop *estimate* (does a
+direct overlay edge already beat the candidate shortcut?), cached and only
+re-estimated for the neighbours of the node just contracted, so the ordering
+runs no witness Dijkstras at all.
 Whether a shortcut ``u -> x`` is needed when contracting ``v`` is decided by
 a bounded *witness search*: a Dijkstra from ``u`` in the remaining overlay
 that ignores ``v`` -- if it reaches ``x`` within ``w(u,v) + w(v,x)`` the
 shortcut is redundant.  The witness search is capped (settle limit + cost
-cap), which can only add redundant shortcuts, never lose correctness.
+cap), which can only add redundant shortcuts, never lose correctness.  The
+same witness distances drive on-the-fly *edge reduction*: an overlay edge
+``u -> x`` that a witness proves longer than an alternative path is deleted,
+shrinking both later witness searches and the final hierarchy.
 
-Queries run a bidirectional Dijkstra that only relaxes edges leading to
-higher-ranked nodes; the answer is the minimum of ``d_f(m) + d_b(m)`` over
-all meeting nodes ``m``.  The same upward searches, run to exhaustion,
-produce the hub labels of :mod:`repro.network.routing.hub_labels`.
+Every shortcut records the contracted *middle* node it bypasses, so a query
+path through the hierarchy can be expanded ("unpacked") into the original
+node sequence without any graph search.
+
+Queries run an interleaved bidirectional Dijkstra that only relaxes edges
+leading to higher-ranked nodes, with mutual pruning (a side stops once its
+queue minimum reaches the best meeting distance) and stall-on-demand (a node
+whose upward distance is beaten via an edge from a higher-ranked node cannot
+lie on a shortest up-down path, so its edges are not relaxed).  The answer is
+the minimum of ``d_f(m) + d_b(m)`` over all meeting nodes ``m``; keeping the
+argmin meeting node plus parent pointers yields the shortest path itself via
+:meth:`ContractionHierarchy.path_query`.  The exhaustive (non-pruned) upward
+searches, run to completion with stalling, produce the hub labels of
+:mod:`repro.network.routing.hub_labels`.
 """
 
 from __future__ import annotations
@@ -32,7 +49,15 @@ DEFAULT_WITNESS_LIMIT = 80
 class ContractionHierarchy:
     """A CH overlay (ranks + upward adjacencies) over a :class:`CSRGraph`."""
 
-    __slots__ = ("csr", "rank", "up_fwd", "up_bwd", "num_shortcuts", "_witness_limit")
+    __slots__ = (
+        "csr",
+        "rank",
+        "up_fwd",
+        "up_bwd",
+        "num_shortcuts",
+        "shortcut_middle",
+        "_witness_limit",
+    )
 
     def __init__(self, csr: CSRGraph, *, witness_limit: int = DEFAULT_WITNESS_LIMIT) -> None:
         self.csr = csr
@@ -45,6 +70,10 @@ class ContractionHierarchy:
         #: ``up_bwd[i]`` -- incoming edges of ``i`` from higher-ranked nodes.
         self.up_bwd: list[list[tuple[int, float]]] = [[] for _ in range(n)]
         self.num_shortcuts = 0
+        #: ``(u, x) -> v`` for every shortcut edge ``u -> x`` bypassing the
+        #: contracted node ``v``; original edges have no entry.  Unpacking a
+        #: shortcut recurses into ``(u, v)`` and ``(v, x)``.
+        self.shortcut_middle: dict[tuple[int, int], int] = {}
         self._build()
 
     # ------------------------------------------------------------------ #
@@ -65,35 +94,55 @@ class ContractionHierarchy:
                     bwd[v][u] = w
         deleted_neighbors = [0] * n
         contracted = [False] * n
+        dirty = [False] * n
 
-        def priority(v: int) -> int:
-            shortcuts = self._count_shortcuts(v, fwd, bwd, contracted)
+        def estimate(v: int) -> int:
+            """Edge-difference priority with a 1-hop witness *estimate*.
+
+            Witness Dijkstras dominate build time, so the ordering heuristic
+            only checks whether a direct overlay edge ``u -> x`` already
+            beats the candidate shortcut.  This may overcount shortcuts (a
+            multi-hop witness goes unnoticed) but never affects correctness:
+            the real contraction below re-runs full witness searches.
+            """
+            out_edges = fwd[v].items()
+            shortcuts = 0
+            for u, w_in in bwd[v].items():
+                if u == v:
+                    continue
+                direct = fwd[u]
+                for x, w_out in out_edges:
+                    if x == u:
+                        continue
+                    existing = direct.get(x)
+                    if existing is None or existing > w_in + w_out:
+                        shortcuts += 1
             return shortcuts - len(fwd[v]) - len(bwd[v]) + deleted_neighbors[v]
 
-        heap = [(priority(v), v) for v in range(n)]
+        # Lazy re-prioritisation: priorities are cached and only re-estimated
+        # for nodes whose neighbourhood changed, instead of on every heap pop.
+        priority_of = [estimate(v) for v in range(n)]
+        heap = [(priority_of[v], v) for v in range(n)]
         heapq.heapify(heap)
         order = 0
         while heap:
-            _, v = heapq.heappop(heap)
-            if contracted[v]:
-                continue
-            # Lazy update: re-evaluate and push back when no longer minimal.
-            current = priority(v)
-            if heap and current > heap[0][0]:
-                heapq.heappush(heap, (current, v))
-                continue
+            p, v = heapq.heappop(heap)
+            if contracted[v] or p != priority_of[v]:
+                continue  # superseded entry
+            if dirty[v]:
+                dirty[v] = False
+                current = estimate(v)
+                if current != p:
+                    priority_of[v] = current
+                    heapq.heappush(heap, (current, v))
+                    continue
+            neighbors = [x for x in fwd[v]]
+            neighbors += [u for u in bwd[v] if u not in fwd[v]]
             self._contract(v, fwd, bwd, contracted, deleted_neighbors)
             self.rank[v] = order
             order += 1
-
-    def _count_shortcuts(
-        self,
-        v: int,
-        fwd: list[dict[int, float]],
-        bwd: list[dict[int, float]],
-        contracted: list[bool],
-    ) -> int:
-        return sum(len(pairs) for _, pairs in self._needed_shortcuts(v, fwd, bwd, contracted))
+            for x in neighbors:
+                dirty[x] = True
 
     def _needed_shortcuts(
         self,
@@ -101,23 +150,44 @@ class ContractionHierarchy:
         fwd: list[dict[int, float]],
         bwd: list[dict[int, float]],
         contracted: list[bool],
+        *,
+        reduce_edges: bool = False,
     ):
-        """Yield ``(u, [(x, weight), ...])`` shortcut groups for contracting ``v``."""
+        """Yield ``(u, [(x, weight), ...])`` shortcut groups for contracting ``v``.
+
+        With ``reduce_edges`` overlay edges ``u -> x`` that the witness
+        search proves non-shortest are deleted on the fly (safe: a witnessed
+        edge is not on any shortest path, so removing it keeps the overlay
+        distance-preserving).
+        """
         out_edges = [(x, w) for x, w in fwd[v].items() if not contracted[x]]
         if not out_edges:
             return
         max_out = max(w for _, w in out_edges)
-        for u, w_in in bwd[v].items():
+        for u, w_in in list(bwd[v].items()):
             if contracted[u] or u == v:
                 continue
-            witness = self._witness_search(u, v, w_in + max_out, fwd, contracted)
+            targets = {x: x != u for x, _ in out_edges}
+            witness = self._witness_search(
+                u, v, w_in + max_out, fwd, contracted, targets
+            )
             needed = []
             for x, w_out in out_edges:
                 if x == u:
                     continue
                 through = w_in + w_out
-                if witness.get(x, math.inf) > through:
+                witness_dist = witness.get(x, math.inf)
+                if witness_dist > through:
                     needed.append((x, through))
+                elif reduce_edges:
+                    existing = fwd[u].get(x)
+                    if existing is not None and witness_dist < existing:
+                        # The witness path (avoiding v) beats the direct
+                        # overlay edge: the edge is not a shortest path and
+                        # can be dropped without changing overlay distances.
+                        del fwd[u][x]
+                        del bwd[x][u]
+                        self.shortcut_middle.pop((u, x), None)
             if needed:
                 yield u, needed
 
@@ -128,24 +198,43 @@ class ContractionHierarchy:
         cap: float,
         fwd: list[dict[int, float]],
         contracted: list[bool],
+        targets: dict[int, bool] | None = None,
     ) -> dict[int, float]:
-        """Bounded Dijkstra from ``source`` in the overlay, avoiding ``skip``."""
+        """Bounded Dijkstra from ``source`` in the overlay, avoiding ``skip``.
+
+        ``targets`` marks the shortcut endpoints the caller will inspect
+        (value ``True`` when relevant from this source); the search stops as
+        soon as every relevant target is settled -- its distance is final by
+        then -- instead of always running to the settle limit or cost cap.
+        """
+        inf = math.inf
         dist = {source: 0.0}
         heap = [(0.0, source)]
         settled = 0
         limit = self._witness_limit
+        remaining = 0
+        if targets is not None:
+            for x, relevant in targets.items():
+                if relevant and x != source:
+                    remaining += 1
+            if remaining == 0:
+                return dist
         while heap and settled < limit:
             d, node = heapq.heappop(heap)
-            if d > dist.get(node, math.inf):
+            if d > dist.get(node, inf):
                 continue
             if d > cap:
                 break
             settled += 1
+            if targets is not None and node != source and targets.get(node, False):
+                remaining -= 1
+                if remaining == 0:
+                    break
             for succ, w in fwd[node].items():
                 if succ == skip or contracted[succ]:
                     continue
                 candidate = d + w
-                if candidate < dist.get(succ, math.inf):
+                if candidate < dist.get(succ, inf):
                     dist[succ] = candidate
                     heapq.heappush(heap, (candidate, succ))
         return dist
@@ -158,13 +247,20 @@ class ContractionHierarchy:
         contracted: list[bool],
         deleted_neighbors: list[int],
     ) -> None:
-        # Materialise the needed shortcuts *before* removing v.
-        for u, needed in self._needed_shortcuts(v, fwd, bwd, contracted):
+        # Materialise the needed shortcuts *before* removing v.  This always
+        # re-runs the witness searches against the *current* overlay: a
+        # witness observed earlier may have run through a since-contracted
+        # node whose own contraction shifted the shortcut burden onto ``v``,
+        # so shortcut decisions cannot be cached across contractions.
+        for u, needed in self._needed_shortcuts(
+            v, fwd, bwd, contracted, reduce_edges=True
+        ):
             for x, through in needed:
                 old = fwd[u].get(x)
                 if old is None or through < old:
                     fwd[u][x] = through
                     bwd[x][u] = through
+                    self.shortcut_middle[(u, x)] = v
                     if old is None:
                         self.num_shortcuts += 1
         # The edges incident to v at contraction time become the upward
@@ -186,60 +282,205 @@ class ContractionHierarchy:
     # ------------------------------------------------------------------ #
     def query(self, source_index: int, target_index: int) -> tuple[float, int]:
         """Bidirectional upward Dijkstra; returns ``(distance, settled)``."""
-        if source_index == target_index:
-            return 0.0, 0
-        best = math.inf
-        settled_total = 0
-        forward_dist = self._upward_scan(source_index, self.up_fwd)
-        # Run the backward scan with pruning against the forward distances.
-        dist = {target_index: 0.0}
-        heap = [(0.0, target_index)]
-        while heap:
-            d, node = heapq.heappop(heap)
-            if d > dist.get(node, math.inf):
-                continue
-            settled_total += 1
-            if d >= best:
-                break
-            other = forward_dist.get(node)
-            if other is not None and other + d < best:
-                best = other + d
-            for pred, w in self.up_bwd[node]:
-                candidate = d + w
-                if candidate < dist.get(pred, math.inf):
-                    dist[pred] = candidate
-                    heapq.heappush(heap, (candidate, pred))
-        settled_total += len(forward_dist)
-        return best, settled_total
+        distance, settled, _, _, _ = self._bidirectional(source_index, target_index)
+        return distance, settled
 
-    def _upward_scan(self, start: int, adjacency: list[list[tuple[int, float]]]) -> dict[int, float]:
-        """Exhaustive upward Dijkstra from ``start`` (the CH search space)."""
+    def path_query(
+        self, source_index: int, target_index: int
+    ) -> tuple[list[int] | None, float, int]:
+        """Shortest path as dense indices, via meeting-node extraction.
+
+        Returns ``(indices, distance, settled)``; ``indices`` is ``None``
+        (and the distance infinite) when the target is unreachable.  The
+        up-down path through the hierarchy is recovered from the parent
+        pointers of both searches and every shortcut edge on it is unpacked
+        recursively into the original edges it bypasses.
+        """
+        distance, settled, meeting, fwd_parents, bwd_parents = self._bidirectional(
+            source_index, target_index, need_parents=True
+        )
+        if math.isinf(distance):
+            return None, distance, settled
+        if source_index == target_index:
+            return [source_index], 0.0, settled
+        # Upward chain source -> meeting (edges taken from up_fwd) ...
+        chain = [meeting]
+        while chain[-1] != source_index:
+            chain.append(fwd_parents[chain[-1]])
+        chain.reverse()
+        # ... then meeting -> target (up_bwd edges point toward the target).
+        node = meeting
+        while node != target_index:
+            node = bwd_parents[node]
+            chain.append(node)
+        path = [source_index]
+        for a, b in zip(chain, chain[1:]):
+            self._unpack(a, b, path)
+        return path, distance, settled
+
+    def _unpack(self, a: int, b: int, out: list[int]) -> None:
+        """Append the expansion of edge ``a -> b`` to ``out`` (excluding ``a``)."""
+        middle = self.shortcut_middle
+        stack = [(a, b)]
+        while stack:
+            x, y = stack.pop()
+            m = middle.get((x, y))
+            if m is None:
+                out.append(y)
+            else:
+                stack.append((m, y))
+                stack.append((x, m))
+
+    def _bidirectional(
+        self, source_index: int, target_index: int, *, need_parents: bool = False
+    ) -> tuple[float, int, int, dict[int, int], dict[int, int]]:
+        """Interleaved pruned bidirectional upward search.
+
+        Returns ``(distance, settled, meeting, fwd_parents, bwd_parents)``.
+        Both directions share the termination bound: a side is abandoned once
+        its queue minimum reaches the best meeting distance (``d >= best``
+        holds for everything it could still settle), and stalled nodes --
+        whose upward distance is beaten through a higher-ranked node -- are
+        settled but not relaxed.
+        """
+        inf = math.inf
+        if source_index == target_index:
+            return 0.0, 0, source_index, {}, {}
+        up_fwd, up_bwd = self.up_fwd, self.up_bwd
+        dist_f = {source_index: 0.0}
+        dist_b = {target_index: 0.0}
+        parents_f: dict[int, int] = {}
+        parents_b: dict[int, int] = {}
+        heap_f = [(0.0, source_index)]
+        heap_b = [(0.0, target_index)]
+        best = inf
+        meeting = -1
+        settled = 0
+        while heap_f or heap_b:
+            # Mutual pruning: drop a side whose frontier cannot improve best.
+            if heap_f and heap_f[0][0] >= best:
+                heap_f = []
+            if heap_b and heap_b[0][0] >= best:
+                heap_b = []
+            if not heap_f and not heap_b:
+                break
+            forward = bool(heap_f) and (not heap_b or heap_f[0][0] <= heap_b[0][0])
+            if forward:
+                d, node = heapq.heappop(heap_f)
+                if d > dist_f[node]:
+                    continue  # superseded entry; first pop settles the node
+                settled += 1
+                other = dist_b.get(node)
+                if other is not None and d + other < best:
+                    best = d + other
+                    meeting = node
+                # Stall-on-demand: an edge from a higher-ranked node that
+                # reaches ``node`` cheaper proves ``node`` is off every
+                # shortest up-down path -- do not relax its edges.
+                stalled = False
+                for m, w in up_bwd[node]:
+                    dm = dist_f.get(m)
+                    if dm is not None and dm + w < d:
+                        stalled = True
+                        break
+                if stalled:
+                    continue
+                for succ, w in up_fwd[node]:
+                    candidate = d + w
+                    if candidate < dist_f.get(succ, inf):
+                        dist_f[succ] = candidate
+                        if need_parents:
+                            parents_f[succ] = node
+                        heapq.heappush(heap_f, (candidate, succ))
+            else:
+                d, node = heapq.heappop(heap_b)
+                if d > dist_b[node]:
+                    continue  # superseded entry; first pop settles the node
+                settled += 1
+                other = dist_f.get(node)
+                if other is not None and d + other < best:
+                    best = d + other
+                    meeting = node
+                stalled = False
+                for m, w in up_fwd[node]:
+                    dm = dist_b.get(m)
+                    if dm is not None and dm + w < d:
+                        stalled = True
+                        break
+                if stalled:
+                    continue
+                for pred, w in up_bwd[node]:
+                    candidate = d + w
+                    if candidate < dist_b.get(pred, inf):
+                        dist_b[pred] = candidate
+                        if need_parents:
+                            parents_b[pred] = node
+                        heapq.heappush(heap_b, (candidate, pred))
+        return best, settled, meeting, parents_f, parents_b
+
+    def _upward_scan(
+        self,
+        start: int,
+        adjacency: list[list[tuple[int, float]]],
+        stall_adjacency: list[list[tuple[int, float]]] | None = None,
+    ) -> dict[int, float]:
+        """Exhaustive upward Dijkstra from ``start`` (the CH search space).
+
+        With ``stall_adjacency`` (the opposite-direction upward lists),
+        stalled nodes -- provably farther than their true distance -- are
+        omitted from the result and not relaxed, which prunes the search
+        space without losing the cover property: the maximum-rank node of a
+        shortest path is always reached at its exact distance through
+        non-stalled nodes.
+        """
+        inf = math.inf
         dist = {start: 0.0}
+        out: dict[int, float] = {}
+        done: set[int] = set()
         heap = [(0.0, start)]
         while heap:
             d, node = heapq.heappop(heap)
-            if d > dist.get(node, math.inf):
+            if node in done:
                 continue
+            done.add(node)
+            if stall_adjacency is not None:
+                stalled = False
+                for m, w in stall_adjacency[node]:
+                    dm = dist.get(m)
+                    if dm is not None and dm + w < d:
+                        stalled = True
+                        break
+                if stalled:
+                    continue
+            out[node] = d
             for succ, w in adjacency[node]:
                 candidate = d + w
-                if candidate < dist.get(succ, math.inf):
+                if candidate < dist.get(succ, inf):
                     dist[succ] = candidate
                     heapq.heappush(heap, (candidate, succ))
-        return dist
+        return out
 
-    def forward_search_space(self, index: int) -> dict[int, float]:
+    def forward_search_space(
+        self, index: int, *, prune: bool = False
+    ) -> dict[int, float]:
         """Upward distances from ``index`` (basis of its forward hub label)."""
-        return self._upward_scan(index, self.up_fwd)
+        return self._upward_scan(
+            index, self.up_fwd, self.up_bwd if prune else None
+        )
 
-    def backward_search_space(self, index: int) -> dict[int, float]:
+    def backward_search_space(
+        self, index: int, *, prune: bool = False
+    ) -> dict[int, float]:
         """Upward distances *to* ``index`` (basis of its backward hub label)."""
-        return self._upward_scan(index, self.up_bwd)
+        return self._upward_scan(
+            index, self.up_bwd, self.up_fwd if prune else None
+        )
 
     def estimated_memory_bytes(self) -> int:
         """Rough footprint of the upward adjacencies."""
         entries = sum(len(edges) for edges in self.up_fwd)
         entries += sum(len(edges) for edges in self.up_bwd)
-        return 48 * entries + 8 * len(self.rank)
+        return 48 * entries + 8 * len(self.rank) + 72 * len(self.shortcut_middle)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

@@ -138,10 +138,18 @@ class CSRGraph:
         remaining = set(targets) if targets is not None else None
         heap = [(0.0, source_index)]
         settled: list[int] = []
+        # ``visited`` makes single settlement explicit instead of relying on
+        # the strict-improvement push discipline (a ``d > dist[node]`` check
+        # would let a duplicate entry *tying* on distance settle the node
+        # twice, duplicating ``settled`` entries and redoing cache writes;
+        # callers must never see duplicates regardless of how relaxation
+        # conditions evolve).
+        visited = bytearray(self.num_nodes)
         while heap:
             d, node = heapq.heappop(heap)
-            if d > dist[node]:
+            if visited[node]:
                 continue
+            visited[node] = 1
             settled.append(node)
             if remaining is not None:
                 remaining.discard(node)

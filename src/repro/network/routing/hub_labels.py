@@ -3,6 +3,10 @@
 The forward label of a node ``s`` is its CH upward search space -- every node
 reachable from ``s`` along edges of increasing rank, with the corresponding
 upward distance; the backward label of ``t`` mirrors it on the reverse graph.
+Search spaces are extracted with stall-on-demand pruning: entries whose
+upward distance exceeds the true shortest-path distance (witnessed by an
+edge from a higher-ranked node) can never be the covering hub of any pair,
+so dropping them shrinks the labels without breaking correctness.
 The CH cover property guarantees that for every reachable pair the minimum of
 ``d_f(h) + d_b(h)`` over *common hubs* ``h`` equals the true shortest-path
 distance, so a ``cost(u, v)`` query reduces to a sorted-label merge: both
@@ -36,10 +40,10 @@ class HubLabeling:
         self.bwd_labels: list[list[tuple[int, float]]] = [[] for _ in range(n)]
         for index in range(n):
             self.fwd_labels[index] = sorted(
-                hierarchy.forward_search_space(index).items()
+                hierarchy.forward_search_space(index, prune=True).items()
             )
             self.bwd_labels[index] = sorted(
-                hierarchy.backward_search_space(index).items()
+                hierarchy.backward_search_space(index, prune=True).items()
             )
 
     # ------------------------------------------------------------------ #

@@ -114,12 +114,6 @@ class DistanceOracle:
         self._backend = make_backend(
             backend, self._data, num_landmarks=num_landmarks, seed=seed
         )
-        #: Graph searcher used for ``path`` queries (and as the ``dijkstra``
-        #: / ``alt`` cost backend).  Preprocessed backends skip shortcut
-        #: unpacking and reuse this searcher when an explicit path is needed.
-        self._searcher: GraphSearchBackend | None = (
-            self._backend if isinstance(self._backend, GraphSearchBackend) else None
-        )
 
     # ------------------------------------------------------------------ #
     # public API
@@ -143,6 +137,7 @@ class DistanceOracle:
         """
         self.stats.queries += 1
         if source == target:
+            self._data.csr.require_index(source)
             return 0.0
         cached = self._cache_get((source, target))
         if cached is not None:
@@ -153,31 +148,40 @@ class DistanceOracle:
     def path(self, source: int, target: int) -> list[int]:
         """Sequence of nodes of a shortest path from ``source`` to ``target``.
 
-        Always answered by a graph search (with ALT potentials when the
-        ``alt`` backend is active): the preprocessed backends would need
-        shortcut unpacking to produce node sequences, and path queries are
-        rare outside visualisation.  Raises :class:`UnreachableError` if no
-        path exists.
+        Answered natively by every backend: the graph-search backends keep
+        parent pointers (with ALT potentials when the ``alt`` backend is
+        active), while ``ch`` and ``hub_label`` extract the meeting node of
+        the bidirectional upward query and unpack the shortcut edges of the
+        resulting up-down path -- no fallback graph search.  Raises
+        :class:`UnreachableError` if no path exists.
         """
         self.stats.queries += 1
-        if source == target:
-            return [source]
         csr = self._data.csr
         source_index = csr.require_index(source)
         target_index = csr.require_index(target)
-        self.stats.searches += 1
-        distance, settled, parents = self._path_searcher().search(
-            source_index, target_index, want_parents=True
-        )
-        self.stats.settled_nodes += len(settled)
-        self._cache_settled(source, settled)
-        if math.isinf(distance):
-            raise UnreachableError(f"node {target} is unreachable from {source}")
-        indices = [target_index]
-        while indices[-1] != source_index:
-            indices.append(parents[indices[-1]])
-        indices.reverse()
+        if source == target:
+            return [source]
         node_ids = csr.node_ids
+        backend = self._backend
+        self.stats.searches += 1
+        if isinstance(backend, GraphSearchBackend):
+            distance, settled, parents = backend.search(
+                source_index, target_index, want_parents=True
+            )
+            self.stats.settled_nodes += len(settled)
+            self._cache_settled(source, settled)
+            if math.isinf(distance):
+                raise UnreachableError(f"node {target} is unreachable from {source}")
+            indices = [target_index]
+            while indices[-1] != source_index:
+                indices.append(parents[indices[-1]])
+            indices.reverse()
+            return [node_ids[index] for index in indices]
+        indices, distance, work = backend.path(source_index, target_index)
+        self.stats.settled_nodes += work
+        self._cache_put((source, target), distance)
+        if indices is None:
+            raise UnreachableError(f"node {target} is unreachable from {source}")
         return [node_ids[index] for index in indices]
 
     def many_to_many(
@@ -288,11 +292,6 @@ class DistanceOracle:
             for index, distance in settled.items():
                 self._cache_put((anchor, node_ids[index]), distance)
 
-    def _path_searcher(self) -> GraphSearchBackend:
-        if self._searcher is None:
-            self._searcher = GraphSearchBackend(self._data)
-        return self._searcher
-
     def _compute(self, source: int, target: int) -> float:
         csr = self._data.csr
         source_index = csr.require_index(source)
@@ -368,14 +367,16 @@ class DistanceOracle:
                     (csr.index_of[source], csr.index_of[target])
                 ]
             return
-        # CH has no cross-pair structure to share: answer exactly the
-        # missing pairs with bidirectional queries.
-        for source, target in missing:
-            distance, work = backend.one_to_one(
-                csr.require_index(source), csr.require_index(target)
-            )
-            self.stats.searches += 1
-            self.stats.settled_nodes += work
+        # CH: the backend batches over exactly the requested pairs (its
+        # many_to_many takes pairs, not a dense source x target product).
+        index_pairs = [
+            (csr.require_index(s), csr.require_index(t)) for s, t in missing
+        ]
+        table, work = backend.many_to_many(index_pairs)
+        self.stats.searches += len(missing)
+        self.stats.settled_nodes += work
+        for (source, target), index_pair in zip(missing, index_pairs):
+            distance = table[index_pair]
             result[(source, target)] = distance
             self._cache_put((source, target), distance)
 

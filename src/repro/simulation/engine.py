@@ -119,6 +119,8 @@ class Simulator:
         metrics.total_travel_time = sum(v.total_travel_time for v in self.vehicles)
         metrics.completed_requests = sum(len(v.completed) for v in self.vehicles)
         metrics.shortest_path_queries = self.oracle.stats.queries
+        metrics.oracle_searches = self.oracle.stats.searches
+        metrics.oracle_settled_nodes = self.oracle.stats.settled_nodes
         metrics.wall_clock_seconds = time.perf_counter() - start_wall
         metrics.observe_memory(self._memory_estimate())
         # ``penalty`` has been accumulated as requests expired; recompute the

@@ -54,6 +54,14 @@ class MetricsCollector:
     dispatch_seconds: float = 0.0
     wall_clock_seconds: float = 0.0
     shortest_path_queries: int = 0
+    #: Backend work behind the logical queries: searches actually executed
+    #: and nodes settled / label entries scanned, straight from
+    #: :class:`~repro.network.shortest_path.QueryStatistics`.  Unlike
+    #: ``shortest_path_queries`` these depend on the routing backend, which
+    #: is exactly why they are recorded -- ordering / preprocessing
+    #: regressions show up here while the logical column stays fixed.
+    oracle_searches: int = 0
+    oracle_settled_nodes: int = 0
     peak_memory_bytes: int = 0
     num_batches: int = 0
     proposal_rounds: int = 0
@@ -95,6 +103,8 @@ class MetricsCollector:
             "dispatch_seconds": self.dispatch_seconds,
             "wall_clock_seconds": self.wall_clock_seconds,
             "shortest_path_queries": float(self.shortest_path_queries),
+            "oracle_searches": float(self.oracle_searches),
+            "oracle_settled_nodes": float(self.oracle_settled_nodes),
             "peak_memory_bytes": float(self.peak_memory_bytes),
             "num_batches": float(self.num_batches),
         }

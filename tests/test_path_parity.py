@@ -1,0 +1,207 @@
+"""Backend path-parity suite: exact ``path()`` on every routing backend.
+
+The preprocessed backends answer ``path(u, v)`` natively (CH meeting-node
+extraction + recursive shortcut unpacking) instead of falling back to a graph
+search.  The contract, checked against the ``dijkstra`` reference on grid and
+ring-radial cities, random directed networks and tie-heavy equal-weight
+graphs: the returned node sequence starts at ``u``, ends at ``v``, follows
+only real network edges, and its summed edge cost equals ``cost(u, v)``
+exactly -- with ``UnreachableError`` raised uniformly for unreachable pairs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import UnreachableError
+from repro.network.generators import grid_city, ring_radial_city
+from repro.network.road_network import RoadNetwork
+from repro.network.routing import CSRGraph, GraphSearchBackend
+from repro.network.shortest_path import DistanceOracle
+
+ALL_BACKENDS = ("dijkstra", "alt", "ch", "hub_label")
+
+
+def _random_network(num_nodes: int, density: float, seed: int) -> RoadNetwork:
+    rng = random.Random(seed)
+    network = RoadNetwork()
+    for node in range(num_nodes):
+        network.add_node(node, rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0))
+    for u in range(num_nodes):
+        for v in range(num_nodes):
+            if u != v and rng.random() < density:
+                network.add_edge(u, v, rng.uniform(1.0, 100.0))
+    return network
+
+
+def _tie_grid(side: int) -> RoadNetwork:
+    """Equal-weight grid: every shortest path has many equal-cost siblings."""
+    network = RoadNetwork()
+    for node in range(side * side):
+        network.add_node(node, float(node % side) * 100.0, float(node // side) * 100.0)
+    for r in range(side):
+        for c in range(side):
+            i = r * side + c
+            if c < side - 1:
+                network.add_edge(i, i + 1, 10.0, bidirectional=True)
+            if r < side - 1:
+                network.add_edge(i, i + side, 10.0, bidirectional=True)
+    return network
+
+
+def _assert_exact_path(network: RoadNetwork, oracle: DistanceOracle,
+                       reference: DistanceOracle, u: int, v: int) -> None:
+    expected = reference.cost(u, v)
+    path = oracle.path(u, v)
+    assert path[0] == u and path[-1] == v
+    total = 0.0
+    for a, b in zip(path, path[1:]):
+        assert network.has_edge(a, b), (oracle.backend_name, u, v, a, b)
+        total += network.edge_cost(a, b)
+    assert total == pytest.approx(expected, abs=1e-9), (oracle.backend_name, u, v)
+    # The facade must agree with itself, not just with the reference.
+    assert oracle.cost(u, v) == pytest.approx(total, abs=1e-9)
+
+
+class TestPathParity:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_grid_city_paths_exact(self, backend):
+        city = grid_city(7, 7, block_length=120.0, perturbation=0.3, seed=17)
+        reference = DistanceOracle(city, cache_size=0)
+        oracle = DistanceOracle(city, cache_size=0, backend=backend)
+        rng = random.Random(5)
+        nodes = list(city.nodes())
+        for u, v in (tuple(rng.sample(nodes, 2)) for _ in range(80)):
+            _assert_exact_path(city, oracle, reference, u, v)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_ring_radial_city_paths_exact(self, backend):
+        city = ring_radial_city(4, 12)
+        reference = DistanceOracle(city, cache_size=0)
+        oracle = DistanceOracle(city, cache_size=0, backend=backend)
+        rng = random.Random(6)
+        nodes = list(city.nodes())
+        for u, v in (tuple(rng.sample(nodes, 2)) for _ in range(80)):
+            _assert_exact_path(city, oracle, reference, u, v)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_tie_heavy_equal_weight_paths_exact(self, backend):
+        network = _tie_grid(5)
+        reference = DistanceOracle(network, cache_size=0)
+        oracle = DistanceOracle(network, cache_size=0, backend=backend)
+        for u in range(25):
+            for v in range(25):
+                if u != v:
+                    _assert_exact_path(network, oracle, reference, u, v)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_unreachable_pair_raises(self, backend):
+        network = RoadNetwork()
+        network.add_node(0, 0.0, 0.0)
+        network.add_node(1, 10.0, 0.0)
+        network.add_node(2, 20.0, 0.0)
+        network.add_edge(0, 1, 5.0)  # node 2 is isolated
+        oracle = DistanceOracle(network, backend=backend)
+        with pytest.raises(UnreachableError):
+            oracle.path(0, 2)
+        assert math.isinf(oracle.cost(0, 2))
+        assert oracle.path(0, 1) == [0, 1]
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        num_nodes=st.integers(min_value=6, max_value=22),
+        density=st.floats(min_value=0.05, max_value=0.3),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_paths_match_dijkstra(self, num_nodes, density, seed):
+        network = _random_network(num_nodes, density, seed)
+        reference = DistanceOracle(network, cache_size=0)
+        oracles = [
+            DistanceOracle(network, cache_size=0, backend=b)
+            for b in ("ch", "hub_label")
+        ]
+        for u in range(num_nodes):
+            for v in range(num_nodes):
+                if u == v:
+                    continue
+                expected = reference.cost(u, v)
+                for oracle in oracles:
+                    if math.isinf(expected):
+                        with pytest.raises(UnreachableError):
+                            oracle.path(u, v)
+                    else:
+                        _assert_exact_path(network, oracle, reference, u, v)
+
+
+class TestNativePreprocessedPaths:
+    @pytest.mark.parametrize("backend", ("ch", "hub_label"))
+    def test_no_graph_search_fallback(self, grid_network, backend, monkeypatch):
+        """Regression: ``path()`` on preprocessed backends must not re-run a
+        CSR graph search (the pre-unpacking fallback)."""
+        oracle = DistanceOracle(grid_network, backend=backend)
+
+        def _boom(*args, **kwargs):  # pragma: no cover - defensive
+            raise AssertionError("path() fell back to a graph search")
+
+        monkeypatch.setattr(GraphSearchBackend, "search", _boom)
+        monkeypatch.setattr(GraphSearchBackend, "search_multi", _boom)
+        path = oracle.path(0, 35)
+        assert path[0] == 0 and path[-1] == 35
+
+    def test_path_distance_lands_in_pair_cache(self, grid_network):
+        oracle = DistanceOracle(grid_network, backend="ch")
+        path = oracle.path(0, 35)
+        searches = oracle.stats.searches
+        cost = oracle.cost(0, 35)
+        assert oracle.stats.searches == searches  # answered from the cache
+        assert oracle.stats.cache_hits >= 1
+        assert cost == pytest.approx(
+            sum(grid_network.edge_cost(a, b) for a, b in zip(path, path[1:]))
+        )
+
+    def test_shortcut_middles_recorded(self):
+        from repro.network.routing import routing_data
+
+        # Jittered weights: a uniform grid needs no shortcuts at all
+        # (every candidate has an equal-cost witness).
+        city = grid_city(7, 7, block_length=120.0, perturbation=0.3, seed=17)
+        hierarchy = routing_data(city).hierarchy
+        assert hierarchy.num_shortcuts > 0
+        assert len(hierarchy.shortcut_middle) >= 1
+        n = hierarchy.csr.num_nodes
+        for (u, x), m in hierarchy.shortcut_middle.items():
+            assert 0 <= m < n and m != u and m != x
+            # The middle was contracted before both endpoints.
+            assert hierarchy.rank[m] < hierarchy.rank[u]
+            assert hierarchy.rank[m] < hierarchy.rank[x]
+
+
+class TestCSRSettledGuard:
+    def test_sssp_never_resettles_on_equal_distance_ties(self):
+        """Regression: duplicate heap entries tying on distance must not
+        re-settle a node (it inflated ``settled_nodes`` accounting and redid
+        cache writes)."""
+        network = _tie_grid(5)
+        csr = CSRGraph.from_network(network)
+        for source in range(csr.num_nodes):
+            dist, settled = csr.sssp(source)
+            assert len(settled) == len(set(settled))
+            assert len(settled) == csr.num_nodes  # connected grid
+        # Also with early termination on a target set.
+        _, settled = csr.sssp(0, targets={csr.num_nodes - 1})
+        assert len(settled) == len(set(settled))
+
+    def test_settled_count_not_inflated_through_oracle(self):
+        network = _tie_grid(4)
+        oracle = DistanceOracle(network, cache_size=0)
+        oracle.many_to_many([0], [15])
+        assert oracle.stats.settled_nodes <= network.num_nodes

@@ -53,6 +53,46 @@ class TestConstruction:
         # Edges must survive a node move.
         assert triangle.has_edge(0, 1)
 
+    def test_remove_edge(self, triangle: RoadNetwork):
+        triangle.remove_edge(1, 2)
+        assert not triangle.has_edge(1, 2)
+        assert triangle.has_edge(2, 1)  # only the requested direction goes
+        assert triangle.num_edges == 2
+        assert dict(triangle.predecessors(2)) == {}
+        assert dict(triangle.neighbors(1)) == {}
+        with pytest.raises(NetworkError):
+            triangle.remove_edge(1, 2)
+        with pytest.raises(NetworkError):
+            triangle.remove_edge(0, 2)
+
+    def test_mutation_count_bumps_on_every_mutation(self):
+        network = RoadNetwork()
+        counts = [network.mutation_count]
+
+        def bumped() -> None:
+            counts.append(network.mutation_count)
+            assert counts[-1] > counts[-2]
+
+        network.add_node(0, 0.0, 0.0)
+        bumped()
+        network.add_node(1, 100.0, 0.0)
+        bumped()
+        network.add_edge(0, 1, 10.0)
+        bumped()
+        network.add_edge(0, 1, 25.0)  # reweight, num_edges unchanged
+        bumped()
+        network.add_node(0, 5.0, 5.0)  # node move
+        bumped()
+        network.remove_edge(0, 1)
+        bumped()
+
+    def test_mutation_count_unchanged_by_reads(self, triangle: RoadNetwork):
+        before = triangle.mutation_count
+        list(triangle.edges())
+        triangle.edge_cost(0, 1)
+        triangle.bounding_box()
+        assert triangle.mutation_count == before
+
 
 class TestQueries:
     def test_neighbors_and_predecessors(self, triangle: RoadNetwork):

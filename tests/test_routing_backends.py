@@ -148,6 +148,52 @@ class TestBackendEquivalence:
             with pytest.raises(NetworkError):
                 oracle.cost(0, 10_000)
 
+    def test_unknown_self_pair_raises(self, grid_network):
+        """Regression: ``cost(u, u)`` / ``path(u, u)`` used to short-circuit
+        to ``0.0`` / ``[u]`` without checking the node exists."""
+        for backend in ALL_BACKENDS:
+            oracle = DistanceOracle(grid_network, backend=backend)
+            with pytest.raises(NetworkError):
+                oracle.cost(10_000, 10_000)
+            with pytest.raises(NetworkError):
+                oracle.path(10_000, 10_000)
+            assert oracle.cost(0, 0) == 0.0
+            assert oracle.path(0, 0) == [0]
+
+    def test_ch_many_to_many_answers_requested_pairs_only(self, grid_network):
+        """The CH backend batches over exactly the requested pairs (not the
+        dense cross product) and the facade actually routes through it."""
+        from repro.network.routing import CHBackend
+
+        reference = DistanceOracle(grid_network, cache_size=0)
+        oracle = DistanceOracle(grid_network, cache_size=0, backend="ch")
+        backend = oracle._backend  # noqa: SLF001 - wiring under test
+        assert isinstance(backend, CHBackend)
+
+        seen_pairs: list[tuple[int, int]] = []
+        original = CHBackend.many_to_many
+
+        def spy(self, pairs):
+            seen_pairs.extend(pairs)
+            return original(self, pairs)
+
+        CHBackend.many_to_many = spy
+        try:
+            table = oracle.many_to_many([0, 1], [20, 21, 22])
+        finally:
+            CHBackend.many_to_many = original
+        assert len(seen_pairs) == 6  # requested pairs, no dense blow-up
+        assert len(set(seen_pairs)) == 6
+        for (s, t), value in table.items():
+            assert value == pytest.approx(reference.cost(s, t), abs=1e-9)
+
+        # Direct backend call: duplicate pairs are answered once.
+        csr = oracle._data.csr  # noqa: SLF001
+        pair = (csr.require_index(0), csr.require_index(20))
+        t0, work = backend.many_to_many([pair, pair])
+        assert set(t0) == {pair}
+        assert work > 0
+
 
 class TestQueryStatistics:
     def test_snapshot_consistent_across_backends(self, grid_network):
@@ -238,6 +284,54 @@ class TestConfigurationAndSharing:
         refreshed = routing_data(grid_network)
         assert refreshed is not data
         assert refreshed.csr.num_nodes == grid_network.num_nodes
+
+    def test_routing_data_invalidated_on_reweight(self, grid_network):
+        """Regression: a reweight keeps ``(num_nodes, num_edges)`` constant,
+        so staleness detection must come from the mutation counter -- and a
+        fresh preprocessed oracle must serve the *new* cost."""
+        old_cost = DistanceOracle(grid_network, backend="hub_label").cost(0, 1)
+        data = routing_data(grid_network)
+        grid_network.add_edge(0, 1, 9999.0)  # reweight an existing edge
+        assert routing_data(grid_network) is not data
+        new_cost = DistanceOracle(grid_network, backend="hub_label").cost(0, 1)
+        assert new_cost != old_cost
+        assert new_cost == pytest.approx(DistanceOracle(grid_network).cost(0, 1))
+
+    def test_routing_data_invalidated_on_edge_removal(self, grid_network):
+        data = routing_data(grid_network)
+        grid_network.remove_edge(0, 1)
+        refreshed = routing_data(grid_network)
+        assert refreshed is not data
+        assert refreshed.csr.num_edges == grid_network.num_edges
+        for backend in ("ch", "hub_label"):
+            assert DistanceOracle(grid_network, backend=backend).cost(
+                0, 1
+            ) == pytest.approx(DistanceOracle(grid_network).cost(0, 1))
+
+    def test_fingerprint_is_constant_time(self, grid_network):
+        """The fingerprint must not iterate edges (the old XOR checksum was
+        O(E) per oracle construction and could cancel out)."""
+        from repro.network.routing.backends import _fingerprint
+
+        calls = 0
+        original = type(grid_network).edges
+
+        def counting(self):
+            nonlocal calls
+            calls += 1
+            return original(self)
+
+        type(grid_network).edges = counting
+        try:
+            fingerprint = _fingerprint(grid_network)
+        finally:
+            type(grid_network).edges = original
+        assert calls == 0
+        assert fingerprint == (
+            grid_network.num_nodes,
+            grid_network.num_edges,
+            grid_network.mutation_count,
+        )
 
     def test_hub_labels_cover_ch_hierarchy(self, grid_network):
         data = routing_data(grid_network)
