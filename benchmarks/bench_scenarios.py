@@ -1,0 +1,203 @@
+"""Benchmark of the dynamic-world scenario engine and oracle refresh policies.
+
+Runs the ``bridge_closure`` and ``rush_hour`` scenario presets on the
+preprocessed routing backends (``ch``, ``hub_label``) under all three
+refresh policies and reports the refresh overhead per policy: backend
+rebuilds and their wall-clock cost, queries served by the exact Dijkstra
+fallback while the structures were dirty, and the stale-window time.
+
+Two invariants are asserted while the simulations run (via the timeline's
+``on_applied`` probe, i.e. *after every world event burst*):
+
+* cost parity: the scenario oracle agrees with a fresh Dijkstra over the
+  mutated network on a sample of random pairs, and
+* zero closed edges: every returned path uses only edges that currently
+  exist in the network.
+
+Run directly (``python benchmarks/bench_scenarios.py``) for the full table,
+``--smoke`` for the short CI job (rush_hour on both backends, one policy),
+or through pytest like the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import sys
+
+from repro.dispatch import make_dispatcher
+from repro.network.shortest_path import DistanceOracle
+from repro.scenarios import make_scenario_workload
+from repro.simulation.engine import Simulator
+
+from _common import save_text
+
+BACKENDS = ("ch", "hub_label")
+POLICIES = ("eager", "deferred", "coalesce")
+SCENARIOS = ("bridge_closure", "rush_hour")
+#: Workload scale of the full benchmark (the smoke run shrinks it further).
+SCALE = 0.08
+CITY_SCALE = 0.4
+ALGORITHM = "SARD"
+#: Random pairs checked for parity after every event burst.
+PARITY_PAIRS = 20
+
+
+def run_scenario(
+    scenario_name: str,
+    backend: str,
+    policy: str,
+    *,
+    scale: float = SCALE,
+    algorithm: str = ALGORITHM,
+) -> dict:
+    """One simulated run; returns the refresh-overhead row.
+
+    The parity probe runs after every event burst (once the refresh policy
+    has made the oracle consistent again) and raises on any divergence from
+    a fresh Dijkstra or any path through a closed edge.
+    """
+    workload, scenario = make_scenario_workload(
+        "nyc",
+        scenario_name,
+        scale=scale,
+        city_scale=CITY_SCALE,
+        simulation_overrides={"routing_backend": backend},
+    )
+    rng = random.Random(99)
+    bursts = {"count": 0}
+
+    def probe(world) -> None:
+        bursts["count"] += 1
+        network = world.network
+        nodes = list(network.nodes())
+        reference = DistanceOracle(network, cache_size=0, backend="dijkstra")
+        for _ in range(PARITY_PAIRS):
+            u, v = rng.sample(nodes, 2)
+            want = reference.cost(u, v)
+            got = world.oracle.cost(u, v)
+            if math.isinf(want):
+                assert math.isinf(got), (scenario_name, backend, policy, u, v)
+                continue
+            assert abs(got - want) < 1e-6, (scenario_name, backend, policy, u, v)
+            path = world.oracle.path(u, v)
+            assert all(
+                network.has_edge(a, b) for a, b in zip(path, path[1:])
+            ), (scenario_name, backend, policy, u, v)
+
+    simulator = Simulator(
+        network=workload.network,
+        oracle=workload.fresh_oracle(),
+        vehicles=workload.fresh_vehicles(),
+        requests=list(workload.requests),
+        dispatcher=make_dispatcher(algorithm),
+        config=workload.simulation_config,
+        record_events=False,
+        timeline=scenario.make_timeline(on_applied=probe),
+        refresh_policy=policy,
+    )
+    result = simulator.run()
+    metrics = result.metrics
+    assert bursts["count"] > 0, "scenario applied no events"
+    return {
+        "scenario": scenario_name,
+        "backend": backend,
+        "policy": policy,
+        "events": metrics.scenario_events,
+        "rebuilds": metrics.oracle_rebuilds,
+        "rebuild_ms": metrics.oracle_rebuild_seconds * 1e3,
+        "fallback_q": metrics.oracle_fallback_queries,
+        "stale_ms": metrics.oracle_stale_seconds * 1e3,
+        "service_rate": metrics.service_rate,
+        "unified_cost": metrics.unified_cost,
+        "dispatch_s": metrics.dispatch_seconds,
+    }
+
+
+def format_table(rows: list[dict], *, title: str) -> str:
+    lines = [
+        title,
+        f"{'scenario':16s} {'backend':10s} {'policy':9s} {'events':>6s} "
+        f"{'rebuilds':>8s} {'rebuild ms':>10s} {'fallback q':>10s} "
+        f"{'stale ms':>9s} {'svc rate':>8s} {'unified':>9s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['scenario']:16s} {row['backend']:10s} {row['policy']:9s} "
+            f"{row['events']:6d} {row['rebuilds']:8d} {row['rebuild_ms']:10.1f} "
+            f"{row['fallback_q']:10d} {row['stale_ms']:9.1f} "
+            f"{row['service_rate']:8.3f} {row['unified_cost']:9.0f}"
+        )
+    lines.append("")
+    lines.append(
+        "Parity checked after every event burst: scenario oracle == fresh "
+        "Dijkstra on the mutated network; all returned paths avoid closed edges."
+    )
+    return "\n".join(lines)
+
+
+def full_rows() -> list[dict]:
+    return [
+        run_scenario(scenario, backend, policy)
+        for scenario in SCENARIOS
+        for backend in BACKENDS
+        for policy in POLICIES
+    ]
+
+
+def smoke_rows() -> list[dict]:
+    """The CI smoke job: a short rush_hour run on both backends."""
+    return [
+        run_scenario("rush_hour", backend, "coalesce", scale=0.04, algorithm="pruneGDP")
+        for backend in BACKENDS
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# pytest entry points (mirroring the other benchmark modules)
+# ---------------------------------------------------------------------- #
+def test_scenario_refresh_overhead_smoke():
+    rows = smoke_rows()
+    for row in rows:
+        assert row["events"] > 0
+        assert row["rebuilds"] >= 1
+    save_text(
+        "scenarios_smoke",
+        format_table(rows, title="Scenario smoke run (rush_hour, coalesce policy)"),
+    )
+
+
+def test_policies_trade_rebuilds_for_fallback():
+    """Deferred/coalesce must actually serve fallback queries where eager
+    never does, on the same bridge_closure scenario."""
+    eager = run_scenario("bridge_closure", "ch", "eager", scale=0.05)
+    coalesce = run_scenario("bridge_closure", "ch", "coalesce", scale=0.05)
+    assert eager["fallback_q"] == 0
+    assert coalesce["fallback_q"] > 0
+    assert coalesce["stale_ms"] > 0.0
+
+
+def main() -> None:
+    if "--smoke" in sys.argv:
+        rows = smoke_rows()
+        save_text(
+            "scenarios_smoke",
+            format_table(rows, title="Scenario smoke run (rush_hour, coalesce policy)"),
+        )
+        return
+    rows = full_rows()
+    save_text(
+        "scenarios",
+        format_table(
+            rows,
+            title=(
+                "Dynamic-world scenario engine: oracle refresh overhead per "
+                f"policy (NYC scale {CITY_SCALE}, {ALGORITHM}, "
+                f"request scale {SCALE})"
+            ),
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

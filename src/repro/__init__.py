@@ -30,13 +30,21 @@ Quick start::
     print(result.service_rate, result.unified_cost)
 """
 
-from .config import ExperimentConfig, SimulationConfig, WorkloadConfig
+from .config import (
+    DemandSurge,
+    ExperimentConfig,
+    ScenarioConfig,
+    SimulationConfig,
+    WorkloadConfig,
+)
 from .exceptions import (
+    ConfigError,
     ConfigurationError,
     DispatchError,
     InfeasibleInsertionError,
     NetworkError,
     ReproError,
+    ScenarioError,
     ScheduleError,
     UnreachableError,
     WorkloadError,
@@ -93,6 +101,13 @@ from .dispatch import (
 )
 from .simulation import MetricsCollector, SimulationResult, Simulator, unified_cost
 from .workloads import Workload, make_workload
+from .scenarios import (
+    Scenario,
+    ScenarioTimeline,
+    make_refresh_policy,
+    make_scenario,
+    make_scenario_workload,
+)
 from .experiments import ExperimentRunner, ResultRow, SweepResult
 
 __version__ = "1.0.0"
@@ -103,9 +118,13 @@ __all__ = [
     "SimulationConfig",
     "WorkloadConfig",
     "ExperimentConfig",
+    "ScenarioConfig",
+    "DemandSurge",
     # exceptions
     "ReproError",
     "ConfigurationError",
+    "ConfigError",
+    "ScenarioError",
     "NetworkError",
     "UnreachableError",
     "ScheduleError",
@@ -167,6 +186,12 @@ __all__ = [
     # workloads
     "Workload",
     "make_workload",
+    # scenarios
+    "Scenario",
+    "ScenarioTimeline",
+    "make_scenario",
+    "make_scenario_workload",
+    "make_refresh_policy",
     # experiments
     "ExperimentRunner",
     "SweepResult",

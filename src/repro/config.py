@@ -33,6 +33,23 @@ ROUTING_BACKENDS = ("dijkstra", "alt", "ch", "hub_label")
 #: Default angle pruning threshold, in radians (pi / 2 as used in the paper).
 DEFAULT_ANGLE_THRESHOLD = math.pi / 2.0
 
+#: Oracle refresh policies accepted by ``ScenarioConfig.refresh_policy``
+#: (must match :data:`repro.scenarios.refresh.POLICY_NAMES`; duplicated here
+#: so the config layer stays import-free of the scenario package).
+REFRESH_POLICIES = ("eager", "deferred", "coalesce")
+
+
+def _require_finite(name: str, value: float) -> None:
+    """Reject NaN and infinite values with a clear ConfigError.
+
+    Comparison-based range checks silently accept NaN (every comparison with
+    NaN is false), so every float knob is funnelled through this guard before
+    its range is checked -- a NaN gamma or batch period would otherwise only
+    blow up batches deep into a simulation.
+    """
+    if not math.isfinite(value):
+        raise ConfigurationError(f"{name} must be a finite number (got {value!r})")
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -73,6 +90,10 @@ class SimulationConfig:
     routing_backend: str = "dijkstra"
 
     def __post_init__(self) -> None:
+        for name in ("gamma", "penalty_coefficient", "batch_period", "alpha", "max_wait"):
+            _require_finite(name, getattr(self, name))
+        if self.angle_threshold is not None:
+            _require_finite("angle_threshold", self.angle_threshold)
         if self.gamma <= 1.0:
             raise ConfigurationError(
                 f"gamma must be > 1 (got {self.gamma}); a deadline equal to the "
@@ -153,10 +174,21 @@ class WorkloadConfig:
     capacity_sigma: float = 0.0
 
     def __post_init__(self) -> None:
+        for name in (
+            "horizon", "arrival_rate", "trip_log_mean", "trip_log_sigma",
+            "hotspot_fraction", "mean_riders", "capacity_sigma",
+        ):
+            _require_finite(name, getattr(self, name))
         if self.num_requests < 0:
             raise ConfigurationError("num_requests must be non-negative")
-        if self.num_vehicles < 0:
-            raise ConfigurationError("num_vehicles must be non-negative")
+        if self.num_vehicles < 1:
+            raise ConfigurationError(
+                f"num_vehicles must be at least 1 (got {self.num_vehicles}); "
+                "a zero fleet can serve no request -- scenario-driven fleets "
+                "should start with one vehicle and use vehicle shift events"
+            )
+        if self.num_hotspots < 0:
+            raise ConfigurationError("num_hotspots must be non-negative")
         if self.horizon <= 0:
             raise ConfigurationError("horizon must be positive")
         if self.arrival_rate < 0:
@@ -178,6 +210,123 @@ class WorkloadConfig:
         return self.horizon
 
     def with_overrides(self, **overrides: Any) -> "WorkloadConfig":
+        """Return a copy of this configuration with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class DemandSurge:
+    """One demand-surge window modulating the synthetic request generator.
+
+    During ``[start, end)`` the request arrival intensity is multiplied by
+    ``rate_multiplier`` (the total request count is fixed, so other windows
+    thin out proportionally -- the paper's batches then see the density
+    spike).  With a ``center`` node, a ``attraction`` fraction of the
+    requests released inside the window is additionally anchored to it:
+    ``"outbound"`` surges draw *origins* near the center (a stadium
+    emptying), ``"inbound"`` surges draw *destinations* near it (an arena
+    filling up before the event).
+    """
+
+    #: Window bounds in seconds of simulated time.
+    start: float
+    end: float
+    #: Arrival-intensity multiplier inside the window (>= 0; 0 is a lull).
+    rate_multiplier: float = 1.0
+    #: Node the surge demand is anchored to (``None`` leaves the spatial
+    #: distribution untouched).
+    center: int | None = None
+    #: Fraction of in-window requests anchored to ``center``.
+    attraction: float = 0.7
+    #: ``"outbound"`` (origins near the center) or ``"inbound"``.
+    direction: str = "outbound"
+
+    def __post_init__(self) -> None:
+        _require_finite("start", self.start)
+        _require_finite("end", self.end)
+        _require_finite("rate_multiplier", self.rate_multiplier)
+        _require_finite("attraction", self.attraction)
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigurationError(
+                f"surge window [{self.start}, {self.end}) must be non-empty "
+                "and start at a non-negative time"
+            )
+        if self.rate_multiplier < 0:
+            raise ConfigurationError(
+                f"rate_multiplier must be non-negative (got {self.rate_multiplier})"
+            )
+        if not 0.0 <= self.attraction <= 1.0:
+            raise ConfigurationError("attraction must be in [0, 1]")
+        if self.direction not in ("outbound", "inbound"):
+            raise ConfigurationError(
+                f"direction must be 'outbound' or 'inbound' (got {self.direction!r})"
+            )
+
+    def active(self, time: float) -> bool:
+        """True when ``time`` falls inside the surge window."""
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs of the dynamic-world scenario presets and the refresh policy.
+
+    The scenario presets (:mod:`repro.scenarios.presets`) derive their event
+    timelines from these intensities; the refresh fields configure how the
+    routing oracle is kept consistent with the mutating network (see
+    :mod:`repro.scenarios.refresh`).
+    """
+
+    #: Oracle refresh policy: ``"eager"`` rebuilds after every mutation
+    #: burst, ``"deferred"`` serves dirty windows via a Dijkstra fallback
+    #: until a staleness budget runs out, ``"coalesce"`` folds all bursts
+    #: since the last rebuild into one rebuild at the next quiet batch
+    #: boundary.
+    refresh_policy: str = "coalesce"
+    #: Deferred policy: rebuild after this many batches served stale.
+    max_stale_batches: int = 3
+    #: Deferred policy: rebuild once this many queries were served by the
+    #: Dijkstra fallback since the preprocessed structures went stale (the
+    #: budget bounds the *total* stale-serving work, across bursts that land
+    #: inside one fallback window).
+    fallback_query_budget: int = 2_000
+    #: Travel-time multiplier of rush-hour slowdown waves (> 1 slows down).
+    slowdown_factor: float = 1.8
+    #: Arrival-intensity multiplier of demand-surge windows.
+    surge_multiplier: float = 2.5
+    #: Closure window of the ``bridge_closure`` preset, as fractions of the
+    #: request horizon.
+    closure_start: float = 0.25
+    closure_end: float = 0.75
+    #: Seed for stochastic scenario components (cancellation sampling, ...).
+    seed: int = 5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "slowdown_factor", "surge_multiplier", "closure_start", "closure_end",
+        ):
+            _require_finite(name, getattr(self, name))
+        if self.refresh_policy not in REFRESH_POLICIES:
+            raise ConfigurationError(
+                f"refresh_policy must be one of {REFRESH_POLICIES} "
+                f"(got {self.refresh_policy!r})"
+            )
+        if self.max_stale_batches < 1:
+            raise ConfigurationError("max_stale_batches must be at least 1")
+        if self.fallback_query_budget < 0:
+            raise ConfigurationError("fallback_query_budget must be non-negative")
+        if self.slowdown_factor <= 0:
+            raise ConfigurationError(
+                f"slowdown_factor must be positive (got {self.slowdown_factor})"
+            )
+        if self.surge_multiplier < 0:
+            raise ConfigurationError("surge_multiplier must be non-negative")
+        if not 0.0 <= self.closure_start < self.closure_end <= 1.0:
+            raise ConfigurationError(
+                "closure window must satisfy 0 <= closure_start < closure_end <= 1"
+            )
+
+    def with_overrides(self, **overrides: Any) -> "ScenarioConfig":
         """Return a copy of this configuration with the given fields replaced."""
         return replace(self, **overrides)
 

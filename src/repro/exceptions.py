@@ -16,6 +16,14 @@ class ConfigurationError(ReproError):
     """Raised when a configuration value is missing, inconsistent or invalid."""
 
 
+#: Short alias used throughout the scenario engine docs and messages.
+ConfigError = ConfigurationError
+
+
+class ScenarioError(ReproError):
+    """Raised when a scenario timeline or world event is inconsistent."""
+
+
 class NetworkError(ReproError):
     """Raised for malformed road networks (unknown nodes, negative costs, ...)."""
 

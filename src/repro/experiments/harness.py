@@ -9,6 +9,8 @@ from ..config import SimulationConfig
 from ..dispatch import make_dispatcher
 from ..dispatch.base import Dispatcher
 from ..exceptions import ConfigurationError
+from ..scenarios.refresh import make_refresh_policy
+from ..scenarios.timeline import Scenario
 from ..simulation.engine import SimulationResult, Simulator
 from ..workloads.presets import Workload, make_workload
 
@@ -146,10 +148,30 @@ class ExperimentRunner:
         *,
         simulation_config: SimulationConfig | None = None,
         dispatcher: Dispatcher | None = None,
+        scenario: Scenario | None = None,
+        refresh_policy: str | None = None,
     ) -> SimulationResult:
-        """Run one algorithm over one workload and return the raw result."""
+        """Run one algorithm over one workload and return the raw result.
+
+        With a ``scenario`` (see :func:`repro.scenarios.make_scenario_workload`,
+        which also generates the matching surge-modulated request trace) a
+        fresh event timeline is built for the run and the oracle follows the
+        mutating network under ``refresh_policy`` (the scenario's own policy
+        when ``None``).
+        """
         config = simulation_config or workload.simulation_config
         dispatcher = dispatcher or self._dispatcher_factory(algorithm)
+        timeline = policy = None
+        if scenario is not None:
+            timeline = scenario.make_timeline()
+            policy = make_refresh_policy(
+                refresh_policy, config=scenario.config
+            )
+        elif refresh_policy is not None:
+            raise ConfigurationError(
+                "refresh_policy without a scenario has nothing to refresh; "
+                "pass the scenario whose timeline mutates the network"
+            )
         simulator = Simulator(
             network=workload.network,
             oracle=workload.fresh_oracle(backend=config.routing_backend),
@@ -158,6 +180,8 @@ class ExperimentRunner:
             dispatcher=dispatcher,
             config=config,
             record_events=False,
+            timeline=timeline,
+            refresh_policy=policy,
         )
         return simulator.run()
 

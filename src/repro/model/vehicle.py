@@ -57,6 +57,9 @@ class Vehicle:
     completed: list[tuple[Request, float]] = field(default_factory=list)
     #: Total realized driving time, in seconds.
     total_travel_time: float = 0.0
+    #: Off-shift vehicles (scenario shift-end events) finish their remaining
+    #: schedule but receive no new assignments and leave the spatial index.
+    on_shift: bool = True
     _clock: float = 0.0
     #: Arrival time at the first way-point of the schedule when the vehicle
     #: is driving; ``None`` when idle.

@@ -41,7 +41,7 @@ from .hub_labels import HubLabeling
 BACKEND_NAMES = ("dijkstra", "alt", "ch", "hub_label")
 
 
-def _fingerprint(network: RoadNetwork) -> tuple[int, int, int]:
+def network_fingerprint(network: RoadNetwork) -> tuple[int, int, int]:
     """O(1) staleness token used to invalidate shared routing data.
 
     Built on :attr:`RoadNetwork.mutation_count`, a monotonic counter bumped
@@ -60,7 +60,7 @@ class RoutingData:
     __slots__ = ("fingerprint", "csr", "_hierarchy", "_labeling", "__weakref__")
 
     def __init__(self, network: RoadNetwork) -> None:
-        self.fingerprint = _fingerprint(network)
+        self.fingerprint = network_fingerprint(network)
         self.csr = CSRGraph.from_network(network)
         self._hierarchy: ContractionHierarchy | None = None
         self._labeling: HubLabeling | None = None
@@ -88,7 +88,7 @@ _ROUTING_DATA: "weakref.WeakKeyDictionary[RoadNetwork, RoutingData]" = (
 def routing_data(network: RoadNetwork) -> RoutingData:
     """Shared :class:`RoutingData` for ``network`` (rebuilt when it changed)."""
     data = _ROUTING_DATA.get(network)
-    if data is None or data.fingerprint != _fingerprint(network):
+    if data is None or data.fingerprint != network_fingerprint(network):
         data = RoutingData(network)
         _ROUTING_DATA[network] = data
     return data

@@ -32,6 +32,12 @@ argmin meeting node plus parent pointers yields the shortest path itself via
 :meth:`ContractionHierarchy.path_query`.  The exhaustive (non-pruned) upward
 searches, run to completion with stalling, produce the hub labels of
 :mod:`repro.network.routing.hub_labels`.
+
+The upward adjacency is flattened after preprocessing: CSR-style index /
+weight arrays (plus per-node tuple views for the interactive query loops)
+replace the build-time lists of lists, and all per-query state -- distances,
+parents, visited marks -- lives in persistent version-stamped flat arrays,
+so the per-settle stall check does list indexing only.
 """
 
 from __future__ import annotations
@@ -52,11 +58,24 @@ class ContractionHierarchy:
     __slots__ = (
         "csr",
         "rank",
-        "up_fwd",
-        "up_bwd",
+        "fwd_indptr",
+        "fwd_indices",
+        "fwd_weights",
+        "bwd_indptr",
+        "bwd_indices",
+        "bwd_weights",
         "num_shortcuts",
         "shortcut_middle",
+        "fwd_view",
+        "bwd_view",
         "_witness_limit",
+        "_dist_f",
+        "_dist_b",
+        "_parent_f",
+        "_parent_b",
+        "_seen_f",
+        "_seen_b",
+        "_query_id",
     )
 
     def __init__(self, csr: CSRGraph, *, witness_limit: int = DEFAULT_WITNESS_LIMIT) -> None:
@@ -65,16 +84,44 @@ class ContractionHierarchy:
         n = csr.num_nodes
         #: Contraction order: ``rank[i] == 0`` is contracted first.
         self.rank: list[int] = [0] * n
-        #: ``up_fwd[i]`` -- outgoing edges of ``i`` into higher-ranked nodes.
-        self.up_fwd: list[list[tuple[int, float]]] = [[] for _ in range(n)]
-        #: ``up_bwd[i]`` -- incoming edges of ``i`` from higher-ranked nodes.
-        self.up_bwd: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        #: CSR-style upward adjacency: ``fwd_indptr[i] : fwd_indptr[i + 1]``
+        #: bounds the slice of ``fwd_indices`` / ``fwd_weights`` holding the
+        #: outgoing edges of ``i`` into higher-ranked nodes; the ``bwd``
+        #: triple holds the incoming edges from higher-ranked nodes.  Flat
+        #: lists keep the per-settle stall check and relaxation loops free of
+        #: per-node list objects and tuple unpacking (ROADMAP open item).
+        self.fwd_indptr: list[int] = [0] * (n + 1)
+        self.fwd_indices: list[int] = []
+        self.fwd_weights: list[float] = []
+        self.bwd_indptr: list[int] = [0] * (n + 1)
+        self.bwd_indices: list[int] = []
+        self.bwd_weights: list[float] = []
         self.num_shortcuts = 0
         #: ``(u, x) -> v`` for every shortcut edge ``u -> x`` bypassing the
         #: contracted node ``v``; original edges have no entry.  Unpacking a
         #: shortcut recurses into ``(u, v)`` and ``(v, x)``.
         self.shortcut_middle: dict[tuple[int, int], int] = {}
+        #: Per-node tuple views over the CSR arrays, used by the interactive
+        #: bidirectional query: CPython iterates a tuple of ``(node, weight)``
+        #: pairs (C-level FOR_ITER + 2-tuple unpack) measurably faster than an
+        #: index range over the flat arrays, and the stall check + relaxation
+        #: run once per settled node.  The flat arrays stay authoritative for
+        #: the label-extraction scans, where Python-level overhead amortises.
+        self.fwd_view: list[tuple[tuple[int, float], ...]] = []
+        self.bwd_view: list[tuple[tuple[int, float], ...]] = []
         self._build()
+        # Persistent query scratch: distances, parents and per-direction
+        # version stamps indexed by dense node id.  An entry is valid only
+        # when its stamp equals the current query id, so queries touch no
+        # hash tables and pay no per-query reinitialisation.  This makes
+        # queries non-reentrant (fine: the simulator is single-threaded).
+        self._dist_f = [0.0] * n
+        self._dist_b = [0.0] * n
+        self._parent_f = [-1] * n
+        self._parent_b = [-1] * n
+        self._seen_f = [0] * n
+        self._seen_b = [0] * n
+        self._query_id = 0
 
     # ------------------------------------------------------------------ #
     # preprocessing
@@ -95,6 +142,10 @@ class ContractionHierarchy:
         deleted_neighbors = [0] * n
         contracted = [False] * n
         dirty = [False] * n
+        # Per-node upward adjacency collected during contraction, flattened
+        # into the CSR-style arrays once the ordering is complete.
+        up_fwd: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        up_bwd: list[list[tuple[int, float]]] = [[] for _ in range(n)]
 
         def estimate(v: int) -> int:
             """Edge-difference priority with a 1-hop witness *estimate*.
@@ -138,11 +189,32 @@ class ContractionHierarchy:
                     continue
             neighbors = [x for x in fwd[v]]
             neighbors += [u for u in bwd[v] if u not in fwd[v]]
-            self._contract(v, fwd, bwd, contracted, deleted_neighbors)
+            self._contract(v, fwd, bwd, contracted, deleted_neighbors, up_fwd, up_bwd)
             self.rank[v] = order
             order += 1
             for x in neighbors:
                 dirty[x] = True
+        self._flatten(up_fwd, up_bwd)
+
+    def _flatten(
+        self,
+        up_fwd: list[list[tuple[int, float]]],
+        up_bwd: list[list[tuple[int, float]]],
+    ) -> None:
+        """Compile the per-node upward lists into flat CSR-style arrays."""
+        for indptr, indices, weights, lists in (
+            (self.fwd_indptr, self.fwd_indices, self.fwd_weights, up_fwd),
+            (self.bwd_indptr, self.bwd_indices, self.bwd_weights, up_bwd),
+        ):
+            cursor = 0
+            for i, edges in enumerate(lists):
+                cursor += len(edges)
+                indptr[i + 1] = cursor
+                for other, weight in edges:
+                    indices.append(other)
+                    weights.append(weight)
+        self.fwd_view = [tuple(edges) for edges in up_fwd]
+        self.bwd_view = [tuple(edges) for edges in up_bwd]
 
     def _needed_shortcuts(
         self,
@@ -246,6 +318,8 @@ class ContractionHierarchy:
         bwd: list[dict[int, float]],
         contracted: list[bool],
         deleted_neighbors: list[int],
+        up_fwd: list[list[tuple[int, float]]],
+        up_bwd: list[list[tuple[int, float]]],
     ) -> None:
         # Materialise the needed shortcuts *before* removing v.  This always
         # re-runs the witness searches against the *current* overlay: a
@@ -265,8 +339,8 @@ class ContractionHierarchy:
                         self.num_shortcuts += 1
         # The edges incident to v at contraction time become the upward
         # adjacency of v: every surviving endpoint outranks v by construction.
-        self.up_fwd[v] = [(x, w) for x, w in fwd[v].items() if not contracted[x]]
-        self.up_bwd[v] = [(u, w) for u, w in bwd[v].items() if not contracted[u]]
+        up_fwd[v] = [(x, w) for x, w in fwd[v].items() if not contracted[x]]
+        up_bwd[v] = [(u, w) for u, w in bwd[v].items() if not contracted[u]]
         for x in fwd[v]:
             bwd[x].pop(v, None)
             deleted_neighbors[x] += 1
@@ -333,24 +407,33 @@ class ContractionHierarchy:
 
     def _bidirectional(
         self, source_index: int, target_index: int, *, need_parents: bool = False
-    ) -> tuple[float, int, int, dict[int, int], dict[int, int]]:
+    ) -> tuple[float, int, int, list[int], list[int]]:
         """Interleaved pruned bidirectional upward search.
 
-        Returns ``(distance, settled, meeting, fwd_parents, bwd_parents)``.
-        Both directions share the termination bound: a side is abandoned once
-        its queue minimum reaches the best meeting distance (``d >= best``
-        holds for everything it could still settle), and stalled nodes --
-        whose upward distance is beaten through a higher-ranked node -- are
-        settled but not relaxed.
+        Returns ``(distance, settled, meeting, fwd_parents, bwd_parents)``;
+        the parent lists are the persistent scratch arrays, whose entries are
+        only meaningful along the meeting chain of *this* query.  Both
+        directions share the termination bound: a side is abandoned once its
+        queue minimum reaches the best meeting distance (``d >= best`` holds
+        for everything it could still settle), and stalled nodes -- whose
+        upward distance is beaten through a higher-ranked node -- are settled
+        but not relaxed.  All per-node query state (distances, parents,
+        visited marks) lives in flat version-stamped arrays, so the hot loop
+        does list indexing only -- no hashing, no per-query allocation.
         """
         inf = math.inf
         if source_index == target_index:
-            return 0.0, 0, source_index, {}, {}
-        up_fwd, up_bwd = self.up_fwd, self.up_bwd
-        dist_f = {source_index: 0.0}
-        dist_b = {target_index: 0.0}
-        parents_f: dict[int, int] = {}
-        parents_b: dict[int, int] = {}
+            return 0.0, 0, source_index, self._parent_f, self._parent_b
+        fwd_view, bwd_view = self.fwd_view, self.bwd_view
+        dist_f, dist_b = self._dist_f, self._dist_b
+        parent_f, parent_b = self._parent_f, self._parent_b
+        seen_f, seen_b = self._seen_f, self._seen_b
+        qid = self._query_id = self._query_id + 1
+        heappush, heappop = heapq.heappush, heapq.heappop
+        dist_f[source_index] = 0.0
+        seen_f[source_index] = qid
+        dist_b[target_index] = 0.0
+        seen_b[target_index] = qid
         heap_f = [(0.0, source_index)]
         heap_b = [(0.0, target_index)]
         best = inf
@@ -366,73 +449,74 @@ class ContractionHierarchy:
                 break
             forward = bool(heap_f) and (not heap_b or heap_f[0][0] <= heap_b[0][0])
             if forward:
-                d, node = heapq.heappop(heap_f)
+                d, node = heappop(heap_f)
                 if d > dist_f[node]:
                     continue  # superseded entry; first pop settles the node
                 settled += 1
-                other = dist_b.get(node)
-                if other is not None and d + other < best:
-                    best = d + other
+                if seen_b[node] == qid and d + dist_b[node] < best:
+                    best = d + dist_b[node]
                     meeting = node
                 # Stall-on-demand: an edge from a higher-ranked node that
                 # reaches ``node`` cheaper proves ``node`` is off every
                 # shortest up-down path -- do not relax its edges.
                 stalled = False
-                for m, w in up_bwd[node]:
-                    dm = dist_f.get(m)
-                    if dm is not None and dm + w < d:
+                for m, w in bwd_view[node]:
+                    if seen_f[m] == qid and dist_f[m] + w < d:
                         stalled = True
                         break
                 if stalled:
                     continue
-                for succ, w in up_fwd[node]:
+                for succ, w in fwd_view[node]:
                     candidate = d + w
-                    if candidate < dist_f.get(succ, inf):
+                    if seen_f[succ] != qid or candidate < dist_f[succ]:
                         dist_f[succ] = candidate
+                        seen_f[succ] = qid
                         if need_parents:
-                            parents_f[succ] = node
-                        heapq.heappush(heap_f, (candidate, succ))
+                            parent_f[succ] = node
+                        heappush(heap_f, (candidate, succ))
             else:
-                d, node = heapq.heappop(heap_b)
+                d, node = heappop(heap_b)
                 if d > dist_b[node]:
                     continue  # superseded entry; first pop settles the node
                 settled += 1
-                other = dist_f.get(node)
-                if other is not None and d + other < best:
-                    best = d + other
+                if seen_f[node] == qid and d + dist_f[node] < best:
+                    best = d + dist_f[node]
                     meeting = node
                 stalled = False
-                for m, w in up_fwd[node]:
-                    dm = dist_b.get(m)
-                    if dm is not None and dm + w < d:
+                for m, w in fwd_view[node]:
+                    if seen_b[m] == qid and dist_b[m] + w < d:
                         stalled = True
                         break
                 if stalled:
                     continue
-                for pred, w in up_bwd[node]:
+                for pred, w in bwd_view[node]:
                     candidate = d + w
-                    if candidate < dist_b.get(pred, inf):
+                    if seen_b[pred] != qid or candidate < dist_b[pred]:
                         dist_b[pred] = candidate
+                        seen_b[pred] = qid
                         if need_parents:
-                            parents_b[pred] = node
-                        heapq.heappush(heap_b, (candidate, pred))
-        return best, settled, meeting, parents_f, parents_b
+                            parent_b[pred] = node
+                        heappush(heap_b, (candidate, pred))
+        return best, settled, meeting, parent_f, parent_b
 
     def _upward_scan(
-        self,
-        start: int,
-        adjacency: list[list[tuple[int, float]]],
-        stall_adjacency: list[list[tuple[int, float]]] | None = None,
+        self, start: int, *, backward: bool, prune: bool
     ) -> dict[int, float]:
         """Exhaustive upward Dijkstra from ``start`` (the CH search space).
 
-        With ``stall_adjacency`` (the opposite-direction upward lists),
-        stalled nodes -- provably farther than their true distance -- are
-        omitted from the result and not relaxed, which prunes the search
+        With ``prune`` the opposite-direction upward arrays drive a stall
+        check: stalled nodes -- provably farther than their true distance --
+        are omitted from the result and not relaxed, which prunes the search
         space without losing the cover property: the maximum-rank node of a
         shortest path is always reached at its exact distance through
         non-stalled nodes.
         """
+        if backward:
+            indptr, indices, weights = self.bwd_indptr, self.bwd_indices, self.bwd_weights
+            sptr, sidx, swts = self.fwd_indptr, self.fwd_indices, self.fwd_weights
+        else:
+            indptr, indices, weights = self.fwd_indptr, self.fwd_indices, self.fwd_weights
+            sptr, sidx, swts = self.bwd_indptr, self.bwd_indices, self.bwd_weights
         inf = math.inf
         dist = {start: 0.0}
         out: dict[int, float] = {}
@@ -443,18 +527,19 @@ class ContractionHierarchy:
             if node in done:
                 continue
             done.add(node)
-            if stall_adjacency is not None:
+            if prune:
                 stalled = False
-                for m, w in stall_adjacency[node]:
-                    dm = dist.get(m)
-                    if dm is not None and dm + w < d:
+                for e in range(sptr[node], sptr[node + 1]):
+                    dm = dist.get(sidx[e])
+                    if dm is not None and dm + swts[e] < d:
                         stalled = True
                         break
                 if stalled:
                     continue
             out[node] = d
-            for succ, w in adjacency[node]:
-                candidate = d + w
+            for e in range(indptr[node], indptr[node + 1]):
+                succ = indices[e]
+                candidate = d + weights[e]
                 if candidate < dist.get(succ, inf):
                     dist[succ] = candidate
                     heapq.heappush(heap, (candidate, succ))
@@ -464,23 +549,27 @@ class ContractionHierarchy:
         self, index: int, *, prune: bool = False
     ) -> dict[int, float]:
         """Upward distances from ``index`` (basis of its forward hub label)."""
-        return self._upward_scan(
-            index, self.up_fwd, self.up_bwd if prune else None
-        )
+        return self._upward_scan(index, backward=False, prune=prune)
 
     def backward_search_space(
         self, index: int, *, prune: bool = False
     ) -> dict[int, float]:
         """Upward distances *to* ``index`` (basis of its backward hub label)."""
-        return self._upward_scan(
-            index, self.up_bwd, self.up_fwd if prune else None
-        )
+        return self._upward_scan(index, backward=True, prune=prune)
 
     def estimated_memory_bytes(self) -> int:
-        """Rough footprint of the upward adjacencies."""
-        entries = sum(len(edges) for edges in self.up_fwd)
-        entries += sum(len(edges) for edges in self.up_bwd)
-        return 48 * entries + 8 * len(self.rank) + 72 * len(self.shortcut_middle)
+        """Rough footprint of the upward adjacencies (arrays + tuple views)."""
+        entries = len(self.fwd_indices) + len(self.bwd_indices)
+        # The CSR arrays cost ~16 bytes per entry; the per-node tuple views
+        # duplicate every entry as a 2-tuple (~72 bytes with the pair tuple)
+        # plus a tuple header per node.
+        return (
+            88 * entries
+            + 16 * (len(self.fwd_indptr) + len(self.bwd_indptr))
+            + 56 * (len(self.fwd_view) + len(self.bwd_view))
+            + 8 * len(self.rank)
+            + 72 * len(self.shortcut_middle)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

@@ -20,6 +20,7 @@ ablation metrics (Tables V and VI).  This module reproduces that interface:
 from __future__ import annotations
 
 import math
+import time
 from collections import OrderedDict
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -31,6 +32,7 @@ from .routing.backends import (
     GraphSearchBackend,
     HubLabelBackend,
     make_backend,
+    network_fingerprint,
     routing_data,
 )
 
@@ -49,6 +51,10 @@ class QueryStatistics:
     #: Total number of node settlements / label entries scanned across all
     #: searches (work proxy).
     settled_nodes: int = 0
+    #: Backend-served queries answered by the Dijkstra fallback while the
+    #: preprocessed structures were dirty (scenario engine; see
+    #: :meth:`DistanceOracle.enable_fallback`).
+    fallback_queries: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -56,6 +62,7 @@ class QueryStatistics:
         self.cache_hits = 0
         self.searches = 0
         self.settled_nodes = 0
+        self.fallback_queries = 0
 
     def snapshot(self) -> dict[str, int]:
         """Return the counters as a plain dictionary (for reporting)."""
@@ -64,6 +71,7 @@ class QueryStatistics:
             "cache_hits": self.cache_hits,
             "searches": self.searches,
             "settled_nodes": self.settled_nodes,
+            "fallback_queries": self.fallback_queries,
         }
 
 
@@ -110,10 +118,17 @@ class DistanceOracle:
         self._cache_size = cache_size
         self._cache: OrderedDict[tuple[int, int], float] = OrderedDict()
         self.stats = QueryStatistics()
+        self._requested_backend = backend
+        self._num_landmarks = num_landmarks
+        self._seed = seed
         self._data = routing_data(network)
         self._backend = make_backend(
             backend, self._data, num_landmarks=num_landmarks, seed=seed
         )
+        #: Fresh-CSR Dijkstra serving queries while the preprocessed
+        #: structures are dirty (``None`` outside scenario fallback windows).
+        self._fallback: GraphSearchBackend | None = None
+        self._fallback_data = None
 
     # ------------------------------------------------------------------ #
     # public API
@@ -128,6 +143,70 @@ class DistanceOracle:
         """Name of the active routing backend."""
         return self._backend.name
 
+    # ------------------------------------------------------------------ #
+    # dynamic-world refresh (scenario engine)
+    # ------------------------------------------------------------------ #
+    @property
+    def is_stale(self) -> bool:
+        """True when the network mutated after the structures serving queries.
+
+        While the Dijkstra fallback is active, staleness is judged against
+        the fallback's CSR snapshot (the preprocessed structures are dirty by
+        definition then, but queries are still answered exactly).
+        """
+        active = self._fallback_data if self._fallback is not None else self._data
+        return active.fingerprint != network_fingerprint(self._network)
+
+    @property
+    def serving_fallback(self) -> bool:
+        """True while queries are answered by the Dijkstra fallback."""
+        return self._fallback is not None
+
+    def rebuild(self) -> float:
+        """Rebuild the routing structures against the current network.
+
+        Drops the pair cache and the Dijkstra fallback, re-resolves the
+        shared :func:`routing_data` (CSR now; hierarchy / labels are forced
+        eagerly by the backend constructor so the rebuild cost is paid here,
+        not smeared over the next queries) and returns the wall-clock seconds
+        spent -- the scenario refresh policies account it as rebuild time.
+        """
+        start = time.perf_counter()
+        self._cache.clear()
+        self._fallback = None
+        self._fallback_data = None
+        self._data = routing_data(self._network)
+        self._backend = make_backend(
+            self._requested_backend,
+            self._data,
+            num_landmarks=self._num_landmarks,
+            seed=self._seed,
+        )
+        return time.perf_counter() - start
+
+    def enable_fallback(self) -> None:
+        """Serve queries exactly via a fresh-CSR Dijkstra, deferring rebuild.
+
+        Compiling the CSR arrays is O(V + E) and orders of magnitude cheaper
+        than re-contracting the hierarchy or re-extracting labels, so a
+        refresh policy can make a mutation burst *consistent* immediately and
+        schedule the expensive rebuild for later.  Queries served this way
+        are counted in ``stats.fallback_queries``.  A no-op when the current
+        fallback already matches the network.
+        """
+        data = routing_data(self._network)
+        if self._fallback is not None and self._fallback_data is data:
+            return
+        self._cache.clear()
+        self._fallback_data = data
+        self._fallback = GraphSearchBackend(data)
+
+    def _active(self):
+        """The ``(routing_data, backend)`` pair answering queries right now."""
+        if self._fallback is not None:
+            return self._fallback_data, self._fallback
+        return self._data, self._backend
+
     def cost(self, source: int, target: int) -> float:
         """Minimum travel time from ``source`` to ``target`` in seconds.
 
@@ -137,7 +216,7 @@ class DistanceOracle:
         """
         self.stats.queries += 1
         if source == target:
-            self._data.csr.require_index(source)
+            self._active()[0].csr.require_index(source)
             return 0.0
         cached = self._cache_get((source, target))
         if cached is not None:
@@ -156,14 +235,16 @@ class DistanceOracle:
         :class:`UnreachableError` if no path exists.
         """
         self.stats.queries += 1
-        csr = self._data.csr
+        data, backend = self._active()
+        csr = data.csr
         source_index = csr.require_index(source)
         target_index = csr.require_index(target)
         if source == target:
             return [source]
         node_ids = csr.node_ids
-        backend = self._backend
         self.stats.searches += 1
+        if backend is self._fallback:
+            self.stats.fallback_queries += 1
         if isinstance(backend, GraphSearchBackend):
             distance, settled, parents = backend.search(
                 source_index, target_index, want_parents=True
@@ -284,7 +365,7 @@ class DistanceOracle:
     def _cache_settled(
         self, anchor: int, settled: dict[int, float], *, reverse: bool = False
     ) -> None:
-        node_ids = self._data.csr.node_ids
+        node_ids = self._active()[0].csr.node_ids
         if reverse:
             for index, distance in settled.items():
                 self._cache_put((node_ids[index], anchor), distance)
@@ -293,11 +374,13 @@ class DistanceOracle:
                 self._cache_put((anchor, node_ids[index]), distance)
 
     def _compute(self, source: int, target: int) -> float:
-        csr = self._data.csr
+        data, backend = self._active()
+        csr = data.csr
         source_index = csr.require_index(source)
         target_index = csr.require_index(target)
-        backend = self._backend
         self.stats.searches += 1
+        if backend is self._fallback:
+            self.stats.fallback_queries += 1
         if isinstance(backend, GraphSearchBackend):
             distance, settled, _ = backend.search(source_index, target_index)
             self.stats.settled_nodes += len(settled)
@@ -315,8 +398,10 @@ class DistanceOracle:
         missing: list[tuple[int, int]],
         result: dict[tuple[int, int], float],
     ) -> None:
-        csr = self._data.csr
-        backend = self._backend
+        data, backend = self._active()
+        csr = data.csr
+        if backend is self._fallback:
+            self.stats.fallback_queries += len(missing)
         if isinstance(backend, GraphSearchBackend):
             # One multi-target search per group; searching from the smaller
             # side (reverse Dijkstra when one target serves many sources,

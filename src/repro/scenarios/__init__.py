@@ -1,0 +1,76 @@
+"""Dynamic-world scenario engine: timed events, timelines, oracle refresh.
+
+The static reproduction freezes the world at t=0; this package makes it
+move.  A :class:`Scenario` bundles demand-surge windows (consumed by the
+request generator) with a builder for timed :class:`WorldEvent` objects --
+traffic waves, road closures and reopenings, rider cancellations, vehicle
+shift starts and ends -- that a :class:`ScenarioTimeline` feeds into
+:class:`~repro.simulation.engine.Simulator` between dispatch batches.  An
+:class:`OracleRefreshPolicy` decides, per mutation burst, whether the
+preprocessed routing structures are rebuilt immediately (``eager``), served
+through an exact Dijkstra fallback under a staleness budget (``deferred``)
+or coalesced into one rebuild at the next quiet batch boundary
+(``coalesce``); the refresh overhead (rebuilds, fallback queries,
+stale-serving time) lands in the run metrics.
+"""
+
+from .events import (
+    CancelRequests,
+    CloseEdges,
+    ReopenEdges,
+    RestoreEdges,
+    ScaleEdges,
+    VehicleShiftEnd,
+    VehicleShiftStart,
+    WorldEvent,
+    WorldView,
+    road_closure,
+    traffic_wave,
+)
+from .presets import (
+    SCENARIO_PRESETS,
+    corridor_edges,
+    make_scenario,
+    make_scenario_workload,
+    ring_edges,
+    zone_edges,
+)
+from .refresh import (
+    POLICY_NAMES,
+    CoalescingRefreshPolicy,
+    DeferredRefreshPolicy,
+    EagerRefreshPolicy,
+    OracleRefreshPolicy,
+    RefreshStats,
+    make_refresh_policy,
+)
+from .timeline import Scenario, ScenarioTimeline
+
+__all__ = [
+    "WorldEvent",
+    "WorldView",
+    "ScaleEdges",
+    "RestoreEdges",
+    "CloseEdges",
+    "ReopenEdges",
+    "CancelRequests",
+    "VehicleShiftStart",
+    "VehicleShiftEnd",
+    "traffic_wave",
+    "road_closure",
+    "Scenario",
+    "ScenarioTimeline",
+    "OracleRefreshPolicy",
+    "EagerRefreshPolicy",
+    "DeferredRefreshPolicy",
+    "CoalescingRefreshPolicy",
+    "RefreshStats",
+    "make_refresh_policy",
+    "POLICY_NAMES",
+    "SCENARIO_PRESETS",
+    "make_scenario",
+    "make_scenario_workload",
+    "zone_edges",
+    "ring_edges",
+    "corridor_edges",
+]

@@ -1,0 +1,206 @@
+"""Oracle refresh policies for a mutating road network.
+
+The preprocessed routing backends (``ch``, ``hub_label``) answer queries
+from structures that a world event invalidates.  Rebuilding them is two to
+three orders of magnitude more expensive than one query, so *when* to
+rebuild is a real scheduling decision.  Three policies are provided:
+
+``eager``
+    Rebuild immediately after every mutation burst.  Queries are never
+    served stale and never fall back, at the price of one full rebuild per
+    burst -- the right choice for rare, isolated events.
+``deferred``
+    Switch the oracle to its fresh-CSR Dijkstra fallback (exact, just
+    slower per query) and rebuild only once a staleness budget runs out:
+    either ``max_stale_batches`` batch boundaries served on the fallback or
+    ``fallback_query_budget`` fallback queries, whichever comes first.
+    Amortises rebuilds over clustered events at a bounded query-time cost.
+``coalesce``
+    Like ``deferred``, but the rebuild happens at the first batch boundary
+    with no further events due -- consecutive bursts (a traffic wave
+    rolling over adjacent zones) collapse into a single rebuild.
+
+Every policy records its decisions in :class:`RefreshStats`; the simulator
+copies them into the run metrics (``oracle_rebuilds``,
+``oracle_rebuild_seconds``, ``oracle_stale_seconds``,
+``oracle_fallback_queries``) so refresh overhead is a first-class
+experimental output.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..config import REFRESH_POLICIES, ScenarioConfig
+from ..exceptions import ConfigurationError
+from ..network.shortest_path import DistanceOracle
+
+#: Policy names accepted by :func:`make_refresh_policy` (mirrored by
+#: :data:`repro.config.REFRESH_POLICIES` for the config layer).
+POLICY_NAMES = REFRESH_POLICIES
+
+
+@dataclass
+class RefreshStats:
+    """What a refresh policy did during one simulation run."""
+
+    #: Mutation bursts reported by the simulator.
+    mutation_bursts: int = 0
+    #: Full backend rebuilds performed and their summed wall-clock cost.
+    rebuilds: int = 0
+    rebuild_seconds: float = 0.0
+    #: Bursts whose rebuild was deferred (served via the Dijkstra fallback).
+    deferred_bursts: int = 0
+    #: Batch boundaries at which queries were served by the fallback.
+    stale_batches: int = 0
+    #: Wall-clock time between entering fallback mode and the rebuild that
+    #: cleared it ("stale-serving time").
+    stale_seconds: float = 0.0
+    _stale_since: float | None = field(default=None, repr=False)
+
+    def mark_stale(self) -> None:
+        """Start the stale-serving clock (idempotent)."""
+        if self._stale_since is None:
+            self._stale_since = time.perf_counter()
+
+    def clear_stale(self) -> None:
+        """Stop the stale-serving clock and accumulate the window."""
+        if self._stale_since is not None:
+            self.stale_seconds += time.perf_counter() - self._stale_since
+            self._stale_since = None
+
+
+class OracleRefreshPolicy:
+    """Base policy: how the oracle follows a mutating network.
+
+    The simulator drives the protocol at every batch boundary:
+
+    1. ``on_batch_start(oracle, now, more_events_due)`` -- before applying
+       this boundary's events (deferred rebuilds happen here);
+    2. ``on_mutations(oracle, now, mutations)`` -- right after a non-empty
+       mutation burst was applied;
+    3. ``finalize(oracle)`` -- once, after the last batch, so the tail of
+       the run (vehicles finishing their schedules) never sees a stale or
+       fallback oracle.
+    """
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.stats = RefreshStats()
+
+    # -- protocol ------------------------------------------------------- #
+    def on_batch_start(
+        self, oracle: DistanceOracle, now: float, more_events_due: bool
+    ) -> None:
+        if oracle.serving_fallback:
+            self.stats.stale_batches += 1
+
+    def on_mutations(self, oracle: DistanceOracle, now: float, mutations: int) -> None:
+        raise NotImplementedError
+
+    def finalize(self, oracle: DistanceOracle) -> None:
+        if oracle.serving_fallback or oracle.is_stale:
+            self._rebuild(oracle)
+
+    # -- shared helpers ------------------------------------------------- #
+    def _rebuild(self, oracle: DistanceOracle) -> None:
+        self.stats.rebuild_seconds += oracle.rebuild()
+        self.stats.rebuilds += 1
+        self.stats.clear_stale()
+
+    def _defer(self, oracle: DistanceOracle) -> None:
+        oracle.enable_fallback()
+        self.stats.deferred_bursts += 1
+        self.stats.mark_stale()
+
+
+class EagerRefreshPolicy(OracleRefreshPolicy):
+    """Rebuild after every mutation burst; queries never run stale."""
+
+    name = "eager"
+
+    def on_mutations(self, oracle: DistanceOracle, now: float, mutations: int) -> None:
+        self.stats.mutation_bursts += 1
+        self._rebuild(oracle)
+
+
+class DeferredRefreshPolicy(OracleRefreshPolicy):
+    """Serve dirty windows on the Dijkstra fallback under a staleness budget."""
+
+    name = "deferred"
+
+    def __init__(
+        self, *, max_stale_batches: int = 3, fallback_query_budget: int = 2_000
+    ) -> None:
+        super().__init__()
+        if max_stale_batches < 1:
+            raise ConfigurationError("max_stale_batches must be at least 1")
+        if fallback_query_budget < 0:
+            raise ConfigurationError("fallback_query_budget must be non-negative")
+        self.max_stale_batches = max_stale_batches
+        self.fallback_query_budget = fallback_query_budget
+        self._batches_stale = 0
+        self._fallback_baseline = 0
+
+    def on_batch_start(
+        self, oracle: DistanceOracle, now: float, more_events_due: bool
+    ) -> None:
+        super().on_batch_start(oracle, now, more_events_due)
+        if not oracle.serving_fallback:
+            return
+        self._batches_stale += 1
+        served = oracle.stats.fallback_queries - self._fallback_baseline
+        if self._batches_stale >= self.max_stale_batches or (
+            served >= self.fallback_query_budget
+        ):
+            self._rebuild(oracle)
+            self._batches_stale = 0
+
+    def on_mutations(self, oracle: DistanceOracle, now: float, mutations: int) -> None:
+        self.stats.mutation_bursts += 1
+        if not oracle.serving_fallback:
+            self._batches_stale = 0
+            self._fallback_baseline = oracle.stats.fallback_queries
+        self._defer(oracle)
+
+
+class CoalescingRefreshPolicy(OracleRefreshPolicy):
+    """One rebuild per quiet batch boundary, folding adjacent bursts."""
+
+    name = "coalesce"
+
+    def on_batch_start(
+        self, oracle: DistanceOracle, now: float, more_events_due: bool
+    ) -> None:
+        super().on_batch_start(oracle, now, more_events_due)
+        if oracle.serving_fallback and not more_events_due:
+            self._rebuild(oracle)
+
+    def on_mutations(self, oracle: DistanceOracle, now: float, mutations: int) -> None:
+        self.stats.mutation_bursts += 1
+        self._defer(oracle)
+
+
+def make_refresh_policy(
+    name: str | None = None, *, config: ScenarioConfig | None = None
+) -> OracleRefreshPolicy:
+    """Instantiate a refresh policy by name (or from a scenario config)."""
+    if config is not None and name is None:
+        name = config.refresh_policy
+    key = (name or "coalesce").lower()
+    if key == "eager":
+        return EagerRefreshPolicy()
+    if key == "deferred":
+        if config is not None:
+            return DeferredRefreshPolicy(
+                max_stale_batches=config.max_stale_batches,
+                fallback_query_budget=config.fallback_query_budget,
+            )
+        return DeferredRefreshPolicy()
+    if key == "coalesce":
+        return CoalescingRefreshPolicy()
+    raise ConfigurationError(
+        f"unknown refresh policy {name!r}; choose from {POLICY_NAMES}"
+    )

@@ -1,0 +1,92 @@
+"""The scenario timeline: ordered world events fed to the simulator.
+
+A :class:`ScenarioTimeline` is a time-sorted queue of
+:class:`~repro.scenarios.events.WorldEvent` objects.  The simulator drains
+the events due at every batch boundary, applies them to its
+:class:`~repro.scenarios.events.WorldView` and reports the resulting
+mutation burst to the refresh policy; an optional ``on_applied`` probe fires
+after each burst is made consistent, which is how the benchmarks assert
+cost parity with a fresh Dijkstra after every event.
+
+A :class:`Scenario` is the *replayable* description: demand-surge windows
+(consumed by the request generator before the run) plus an event builder
+producing fresh event objects per run (events carry state, e.g. a closure's
+removed costs, so they must not be shared between runs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from ..config import DemandSurge, ScenarioConfig
+from .events import WorldEvent, WorldView
+
+
+class ScenarioTimeline:
+    """Time-ordered queue of world events with an application probe."""
+
+    def __init__(
+        self,
+        events: Sequence[WorldEvent] = (),
+        *,
+        on_applied: Callable[[WorldView], None] | None = None,
+    ) -> None:
+        self._events = sorted(events, key=lambda event: event.time)
+        self._cursor = 0
+        #: Events already handed out, in application order.
+        self.applied: list[WorldEvent] = []
+        #: Probe invoked (with the world view) after a due burst has been
+        #: applied *and* the refresh policy has made the oracle consistent.
+        self.on_applied = on_applied
+
+    def has_due(self, now: float) -> bool:
+        """True when at least one event is due at or before ``now``."""
+        return self._cursor < len(self._events) and self._events[self._cursor].time <= now
+
+    def pop_due(self, now: float) -> list[WorldEvent]:
+        """Remove and return every event due at or before ``now``, in order."""
+        due: list[WorldEvent] = []
+        while self.has_due(now):
+            due.append(self._events[self._cursor])
+            self._cursor += 1
+        self.applied.extend(due)
+        return due
+
+    def notify(self, world: WorldView) -> None:
+        """Fire the ``on_applied`` probe (no-op when unset)."""
+        if self.on_applied is not None:
+            self.on_applied(world)
+
+    @property
+    def remaining(self) -> int:
+        """Number of events not yet handed out."""
+        return len(self._events) - self._cursor
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+@dataclass
+class Scenario:
+    """A replayable dynamic-world scenario.
+
+    ``surges`` modulate the request generator *before* the run (arrival
+    intensity and hotspot anchoring); ``events_builder`` produces the
+    runtime timeline.  ``config`` keeps the knobs the preset was built from,
+    including the refresh policy the run should use.
+    """
+
+    name: str
+    #: Request horizon the event times were derived from, in seconds.
+    horizon: float
+    surges: tuple[DemandSurge, ...] = ()
+    events_builder: Callable[[], list[WorldEvent]] = list
+    config: ScenarioConfig = field(default_factory=ScenarioConfig)
+    description: str = ""
+
+    def make_timeline(
+        self, *, on_applied: Callable[[WorldView], None] | None = None
+    ) -> ScenarioTimeline:
+        """Build a fresh timeline (fresh event objects) for one run."""
+        return ScenarioTimeline(self.events_builder(), on_applied=on_applied)

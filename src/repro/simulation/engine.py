@@ -5,10 +5,15 @@ One :class:`Simulator` instance runs one algorithm over one workload:
 1. requests are partitioned into batches of ``Delta`` seconds,
 2. at every batch boundary the vehicles advance along their schedules,
    requests that can no longer be picked up expire (and incur the penalty),
-3. the dispatcher is called with the pending pool and returns assignments,
-4. assignments are applied to the vehicles and the grid index is refreshed,
-5. after the last batch the vehicles finish their remaining schedules and
-   the final metrics are computed.
+3. world events due at the boundary are applied (scenario engine): traffic
+   waves, closures/reopenings, cancellations, vehicle shifts -- and the
+   oracle refresh policy decides whether the mutation burst triggers a
+   backend rebuild, a Dijkstra-fallback window or a coalesced rebuild later,
+4. the dispatcher is called with the pending pool and returns assignments,
+5. assignments are applied to the vehicles and the grid index is refreshed,
+6. after the last batch the refresh policy finalizes (no stale tail), the
+   vehicles finish their remaining schedules and the final metrics are
+   computed.
 """
 
 from __future__ import annotations
@@ -26,6 +31,9 @@ from ..model.vehicle import Vehicle
 from ..network.grid_index import GridIndex
 from ..network.road_network import RoadNetwork
 from ..network.shortest_path import DistanceOracle
+from ..scenarios.events import WorldView
+from ..scenarios.refresh import OracleRefreshPolicy, make_refresh_policy
+from ..scenarios.timeline import ScenarioTimeline
 from .events import Event, EventKind, EventLog
 from .metrics import BatchRecord, MetricsCollector, unified_cost
 
@@ -71,6 +79,11 @@ class Simulator:
     config: SimulationConfig
     average_speed: float = 10.0
     record_events: bool = True
+    #: Dynamic-world scenario: timed events applied at batch boundaries.
+    timeline: ScenarioTimeline | None = None
+    #: How the oracle follows network mutations; a policy name or instance
+    #: (defaults to ``coalesce`` whenever a timeline is present).
+    refresh_policy: OracleRefreshPolicy | str | None = None
     _vehicle_index: GridIndex = field(init=False)
 
     def __post_init__(self) -> None:
@@ -78,6 +91,10 @@ class Simulator:
             raise DispatchError("vehicle identifiers must be unique")
         if len({r.request_id for r in self.requests}) != len(self.requests):
             raise DispatchError("request identifiers must be unique")
+        if isinstance(self.refresh_policy, str):
+            self.refresh_policy = make_refresh_policy(self.refresh_policy)
+        if self.refresh_policy is None and self.timeline is not None:
+            self.refresh_policy = make_refresh_policy("coalesce")
         self._vehicle_index = GridIndex.for_network(self.network, self.config.grid_cells)
 
     # ------------------------------------------------------------------ #
@@ -106,6 +123,9 @@ class Simulator:
                         Event(request.release_time, EventKind.REQUEST_RELEASED,
                               request.request_id)
                     )
+            self._scenario_step(
+                batch.end_time, pending, vehicles_by_id, metrics, events
+            )
             if not pending:
                 continue
             record = self._dispatch_batch(
@@ -113,7 +133,19 @@ class Simulator:
             )
             metrics.record_batch(record)
 
-        # Let the fleet finish every remaining stop, then total up.
+        # Fast-forward the scenario tail: events scheduled past the last
+        # batch (wave recoveries, reopenings, shift ends) are applied at the
+        # stream's end so paired events always balance out -- a workload's
+        # network is shared across runs and must not stay mutated.  Then
+        # rebuild anything still stale so the run's tail (vehicles finishing
+        # their schedules) is served from fresh structures, and let the
+        # fleet finish every remaining stop and total up.
+        if self.timeline is not None and self.timeline.remaining:
+            self._scenario_step(
+                last_time, pending, vehicles_by_id, metrics, events, drain=True
+            )
+        if self.refresh_policy is not None:
+            self.refresh_policy.finalize(self.oracle)
         self._advance_vehicles(math.inf, metrics, events)
         self._expire_pending(pending, math.inf, metrics, events)
         metrics.total_travel_time = sum(v.total_travel_time for v in self.vehicles)
@@ -121,6 +153,12 @@ class Simulator:
         metrics.shortest_path_queries = self.oracle.stats.queries
         metrics.oracle_searches = self.oracle.stats.searches
         metrics.oracle_settled_nodes = self.oracle.stats.settled_nodes
+        metrics.oracle_fallback_queries = self.oracle.stats.fallback_queries
+        if self.refresh_policy is not None:
+            refresh = self.refresh_policy.stats
+            metrics.oracle_rebuilds = refresh.rebuilds
+            metrics.oracle_rebuild_seconds = refresh.rebuild_seconds
+            metrics.oracle_stale_seconds = refresh.stale_seconds
         metrics.wall_clock_seconds = time.perf_counter() - start_wall
         metrics.observe_memory(self._memory_estimate())
         # ``penalty`` has been accumulated as requests expired; recompute the
@@ -138,6 +176,65 @@ class Simulator:
         )
 
     # ------------------------------------------------------------------ #
+    # scenario engine
+    # ------------------------------------------------------------------ #
+    def _scenario_step(
+        self,
+        now: float,
+        pending: dict[int, Request],
+        vehicles_by_id: dict[int, Vehicle],
+        metrics: MetricsCollector,
+        events: EventLog,
+        *,
+        drain: bool = False,
+    ) -> None:
+        """Apply due world events and drive the oracle refresh policy.
+
+        With ``drain`` every remaining event is applied at ``now`` (the
+        post-stream fast-forward); the per-batch policy hook is skipped then
+        because ``finalize`` runs right after.
+        """
+        timeline, policy = self.timeline, self.refresh_policy
+
+        def record(kind: str, subject: int, other: int | None = None) -> None:
+            if self.record_events:
+                events.record(Event(now, EventKind(kind), subject, other))
+
+        if policy is not None and not drain:
+            rebuilds_before = policy.stats.rebuilds
+            more_due = timeline.has_due(now) if timeline is not None else False
+            policy.on_batch_start(self.oracle, now, more_due)
+            if policy.stats.rebuilds > rebuilds_before:
+                record(EventKind.ORACLE_REBUILT.value, 0)
+        if timeline is None:
+            return
+        due = timeline.pop_due(math.inf if drain else now)
+        if not due:
+            return
+
+        world = WorldView(
+            now=now,
+            network=self.network,
+            oracle=self.oracle,
+            vehicles=self.vehicles,
+            vehicles_by_id=vehicles_by_id,
+            pending=pending,
+            vehicle_index=self._vehicle_index,
+            metrics=metrics,
+            record=record,
+        )
+        mutations = 0
+        for event in due:
+            mutations += event.apply(world)
+            metrics.scenario_events += 1
+        if mutations and policy is not None:
+            rebuilds_before = policy.stats.rebuilds
+            policy.on_mutations(self.oracle, now, mutations)
+            if policy.stats.rebuilds > rebuilds_before:
+                record(EventKind.ORACLE_REBUILT.value, mutations)
+        timeline.notify(world)
+
+    # ------------------------------------------------------------------ #
     # batch processing
     # ------------------------------------------------------------------ #
     def _dispatch_batch(
@@ -152,7 +249,7 @@ class Simulator:
             current_time=batch.end_time,
             batch=batch,
             pending=list(pending.values()),
-            vehicles=self.vehicles,
+            vehicles=[v for v in self.vehicles if v.on_shift],
             network=self.network,
             oracle=self.oracle,
             vehicle_index=self._vehicle_index,
@@ -253,8 +350,11 @@ class Simulator:
 
     def _refresh_vehicle_index(self) -> None:
         for vehicle in self.vehicles:
-            x, y = self.network.position(vehicle.location)
-            self._vehicle_index.move(vehicle.vehicle_id, x, y)
+            if vehicle.on_shift:
+                x, y = self.network.position(vehicle.location)
+                self._vehicle_index.move(vehicle.vehicle_id, x, y)
+            else:
+                self._vehicle_index.remove(vehicle.vehicle_id)
 
     def _memory_estimate(self) -> int:
         vehicles = sum(v.estimated_memory_bytes() for v in self.vehicles)

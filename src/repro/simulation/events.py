@@ -21,6 +21,15 @@ class EventKind(enum.Enum):
     REQUEST_EXPIRED = "request_expired"
     REQUEST_REJECTED = "request_rejected"
     BATCH_DISPATCHED = "batch_dispatched"
+    # Dynamic-world scenario events (values match the kind strings world
+    # events emit; see :mod:`repro.scenarios.events`).
+    REQUEST_CANCELLED = "request_cancelled"
+    EDGES_RESCALED = "edges_rescaled"
+    ROAD_CLOSED = "road_closed"
+    ROAD_REOPENED = "road_reopened"
+    VEHICLE_SHIFT_STARTED = "vehicle_shift_started"
+    VEHICLE_SHIFT_ENDED = "vehicle_shift_ended"
+    ORACLE_REBUILT = "oracle_rebuilt"
 
 
 @dataclass(frozen=True)

@@ -62,6 +62,18 @@ class MetricsCollector:
     #: regressions show up here while the logical column stays fixed.
     oracle_searches: int = 0
     oracle_settled_nodes: int = 0
+    #: Dynamic-world accounting (scenario engine): requests cancelled by
+    #: riders while pending, world events applied, and the oracle refresh
+    #: overhead -- full backend rebuilds with their wall-clock cost, queries
+    #: served by the exact Dijkstra fallback while the preprocessed
+    #: structures were dirty, and the wall-clock time spent in that stale
+    #: window ("stale-serving time").
+    cancelled_requests: int = 0
+    scenario_events: int = 0
+    oracle_rebuilds: int = 0
+    oracle_rebuild_seconds: float = 0.0
+    oracle_fallback_queries: int = 0
+    oracle_stale_seconds: float = 0.0
     peak_memory_bytes: int = 0
     num_batches: int = 0
     proposal_rounds: int = 0
@@ -105,6 +117,12 @@ class MetricsCollector:
             "shortest_path_queries": float(self.shortest_path_queries),
             "oracle_searches": float(self.oracle_searches),
             "oracle_settled_nodes": float(self.oracle_settled_nodes),
+            "cancelled_requests": float(self.cancelled_requests),
+            "scenario_events": float(self.scenario_events),
+            "oracle_rebuilds": float(self.oracle_rebuilds),
+            "oracle_rebuild_seconds": self.oracle_rebuild_seconds,
+            "oracle_fallback_queries": float(self.oracle_fallback_queries),
+            "oracle_stale_seconds": self.oracle_stale_seconds,
             "peak_memory_bytes": float(self.peak_memory_bytes),
             "num_batches": float(self.num_batches),
         }

@@ -14,6 +14,7 @@ requests per batch, trip-length distribution and spatial concentration.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from ..config import SimulationConfig, WorkloadConfig
@@ -127,33 +128,20 @@ class Workload:
         return len(self.requests)
 
 
-def make_workload(
-    preset: str = "nyc",
+def resolve_preset_configs(
+    preset: str,
     *,
     scale: float = 1.0,
     vehicle_scale: float = 1.0,
-    city_scale: float = 0.7,
     workload_overrides: dict | None = None,
     simulation_overrides: dict | None = None,
-) -> Workload:
-    """Build one of the named workloads.
+) -> tuple[str, WorkloadConfig, SimulationConfig]:
+    """Resolve a preset into ``(city_name, workload_config, simulation_config)``.
 
-    Parameters
-    ----------
-    preset:
-        ``"chd"``, ``"nyc"`` or ``"cainiao"``.
-    scale:
-        Multiplies the number of requests.  Because every preset fixes the
-        arrival rate, scaling the request count shortens or lengthens the
-        simulated horizon while keeping the per-batch density -- the fleet
-        size is deliberately *not* scaled with it.
-    vehicle_scale:
-        Multiplies the fleet size independently of the request count.
-    city_scale:
-        Multiplies the road-network size relative to the preset city.
-    workload_overrides / simulation_overrides:
-        Field overrides applied on top of the preset configurations, e.g.
-        ``simulation_overrides={"gamma": 1.8}`` for the deadline sweep.
+    Factored out of :func:`make_workload` so callers that need the scaled
+    configuration *before* building the workload (the scenario engine derives
+    event times from the effective horizon and cancellation targets from the
+    request count) resolve it exactly once, the same way.
     """
     key = preset.lower()
     if key not in WORKLOAD_PRESETS:
@@ -173,10 +161,58 @@ def make_workload(
     workload_config = workload_config.with_overrides(**scaled_fields)
     if simulation_overrides:
         simulation_config = simulation_config.with_overrides(**simulation_overrides)
-    network = make_city(entry["city"], scale=city_scale)
+    return entry["city"], workload_config, simulation_config
+
+
+def make_workload(
+    preset: str = "nyc",
+    *,
+    scale: float = 1.0,
+    vehicle_scale: float = 1.0,
+    city_scale: float = 0.7,
+    workload_overrides: dict | None = None,
+    simulation_overrides: dict | None = None,
+    network: RoadNetwork | None = None,
+    surges: Sequence = (),
+) -> Workload:
+    """Build one of the named workloads.
+
+    Parameters
+    ----------
+    preset:
+        ``"chd"``, ``"nyc"`` or ``"cainiao"``.
+    scale:
+        Multiplies the number of requests.  Because every preset fixes the
+        arrival rate, scaling the request count shortens or lengthens the
+        simulated horizon while keeping the per-batch density -- the fleet
+        size is deliberately *not* scaled with it.
+    vehicle_scale:
+        Multiplies the fleet size independently of the request count.
+    city_scale:
+        Multiplies the road-network size relative to the preset city.
+    workload_overrides / simulation_overrides:
+        Field overrides applied on top of the preset configurations, e.g.
+        ``simulation_overrides={"gamma": 1.8}`` for the deadline sweep.
+    network:
+        A prebuilt city to generate over (the scenario engine derives zones
+        and corridors from the network before generating demand on it);
+        ``city_scale`` is ignored then.
+    surges:
+        :class:`~repro.config.DemandSurge` windows modulating the request
+        generator's arrival intensity and spatial anchoring.
+    """
+    city_name, workload_config, simulation_config = resolve_preset_configs(
+        preset,
+        scale=scale,
+        vehicle_scale=vehicle_scale,
+        workload_overrides=workload_overrides,
+        simulation_overrides=simulation_overrides,
+    )
+    if network is None:
+        network = make_city(city_name, scale=city_scale)
     oracle = DistanceOracle(network, backend=simulation_config.routing_backend)
     generator = RequestGenerator(network, oracle, workload_config, simulation_config)
-    requests = generator.generate()
+    requests = generator.generate(surges=surges)
     return Workload(
         name=workload_config.name,
         network=network,

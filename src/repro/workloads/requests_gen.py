@@ -10,14 +10,23 @@ are sensitive to:
   versus the dispersed demand of the Cainiao delivery workload, and
 * **arrival process**: request release times form a homogeneous Poisson
   process over the horizon (the paper's batches then slice this stream).
+
+The scenario engine modulates the generator through
+:class:`~repro.config.DemandSurge` windows: inside a window the arrival
+intensity is multiplied (piecewise-constant thinning conditioned on the
+total count) and a configurable fraction of the requests is anchored to the
+surge center -- origins near it for ``"outbound"`` surges (a venue
+emptying), destinations near it for ``"inbound"`` ones (commuters heading
+downtown).
 """
 
 from __future__ import annotations
 
 import math
 import random
+from collections.abc import Sequence
 
-from ..config import SimulationConfig, WorkloadConfig
+from ..config import DemandSurge, SimulationConfig, WorkloadConfig
 from ..exceptions import WorkloadError
 from ..model.request import Request
 from ..model.vehicle import Vehicle
@@ -46,15 +55,23 @@ class RequestGenerator:
         self._hotspots = self._pick_hotspots()
 
     # ------------------------------------------------------------------ #
-    def generate(self) -> list[Request]:
-        """Generate the configured number of requests, sorted by release time."""
+    def generate(self, *, surges: Sequence[DemandSurge] = ()) -> list[Request]:
+        """Generate the configured number of requests, sorted by release time.
+
+        ``surges`` (scenario engine) reshape the arrival intensity and anchor
+        a fraction of in-window trips to the surge centers; without them the
+        trace is the homogeneous baseline.
+        """
         workload = self._workload
+        horizon = workload.effective_horizon
         release_times = self._poisson_arrivals(
-            workload.num_requests, workload.effective_horizon
+            workload.num_requests, horizon, surges=surges
         )
         requests: list[Request] = []
         for request_id, release in enumerate(release_times):
-            source, destination, direct_cost = self._sample_trip()
+            source, destination, direct_cost = self._sample_trip(
+                release_time=release, surges=surges
+            )
             riders = self._sample_riders()
             requests.append(
                 Request.create(
@@ -81,10 +98,59 @@ class RequestGenerator:
         count = min(count, len(self._nodes))
         return self._rng.sample(self._nodes, count)
 
-    def _poisson_arrivals(self, count: int, horizon: float) -> list[float]:
-        """Release times of a homogeneous Poisson process conditioned on count."""
-        times = sorted(self._rng.uniform(0.0, horizon) for _ in range(count))
-        return times
+    def _poisson_arrivals(
+        self,
+        count: int,
+        horizon: float,
+        *,
+        surges: Sequence[DemandSurge] = (),
+    ) -> list[float]:
+        """Release times of a Poisson process conditioned on count.
+
+        Without surges the process is homogeneous.  Active surge windows
+        multiply the intensity piecewise-constantly (overlapping windows
+        compound); times are drawn by inverting the piecewise-linear CDF so
+        one uniform draw per request keeps the sampling deterministic under
+        the workload seed.
+        """
+        active = [
+            s for s in surges if s.rate_multiplier != 1.0 and s.start < horizon
+        ]
+        if not active:
+            return sorted(self._rng.uniform(0.0, horizon) for _ in range(count))
+        bounds = {0.0, horizon}
+        for surge in active:
+            bounds.add(min(max(surge.start, 0.0), horizon))
+            bounds.add(min(max(surge.end, 0.0), horizon))
+        edges = sorted(bounds)
+        segments: list[tuple[float, float, float]] = []  # (start, end, weight)
+        total = 0.0
+        for a, b in zip(edges, edges[1:]):
+            midpoint = (a + b) / 2.0
+            rate = 1.0
+            for surge in active:
+                if surge.active(midpoint):
+                    rate *= surge.rate_multiplier
+            weight = rate * (b - a)
+            segments.append((a, b, weight))
+            total += weight
+        if total <= 0.0:
+            # Every window zeroed out; fall back to the homogeneous process.
+            return sorted(self._rng.uniform(0.0, horizon) for _ in range(count))
+        times: list[float] = []
+        last = len(segments) - 1
+        for _ in range(count):
+            r = self._rng.uniform(0.0, total)
+            for index, (a, b, weight) in enumerate(segments):
+                # The index check catches the float residue of the repeated
+                # subtraction: without it a residual a few ulps above the
+                # final weight would drop the request silently.
+                if r <= weight or index == last:
+                    fraction = min(r / weight, 1.0) if weight > 0 else 0.0
+                    times.append(a + fraction * (b - a))
+                    break
+                r -= weight
+        return sorted(times)
 
     def _sample_riders(self) -> int:
         """Geometric-tailed rider count with the configured mean."""
@@ -108,15 +174,44 @@ class RequestGenerator:
         jitter_y = y + self._rng.gauss(0.0, spread)
         return self._network.nearest_node(jitter_x, jitter_y)
 
-    def _sample_trip(self) -> tuple[int, int, float]:
-        """Sample (source, destination, direct cost) with a log-normal length."""
+    def _sample_trip(
+        self,
+        *,
+        release_time: float = 0.0,
+        surges: Sequence[DemandSurge] = (),
+    ) -> tuple[int, int, float]:
+        """Sample (source, destination, direct cost) with a log-normal length.
+
+        A surge window with a center that is active at ``release_time``
+        anchors the trip with probability ``attraction``: outbound surges
+        pin the origin near the center, inbound surges the destination.
+        """
         workload = self._workload
+        surge = next(
+            (
+                s
+                for s in surges
+                if s.center is not None and s.active(release_time)
+            ),
+            None,
+        )
         for _ in range(40):
-            source = self._sample_source()
-            target_time = self._rng.lognormvariate(
-                workload.trip_log_mean, workload.trip_log_sigma
-            )
-            destination = self._node_at_travel_time(source, target_time)
+            anchored = surge is not None and self._rng.random() < surge.attraction
+            if anchored and surge.direction == "outbound":
+                source = self._near_node(surge.center)
+                target_time = self._rng.lognormvariate(
+                    workload.trip_log_mean, workload.trip_log_sigma
+                )
+                destination = self._node_at_travel_time(source, target_time)
+            elif anchored:
+                source = self._sample_source()
+                destination = self._near_node(surge.center)
+            else:
+                source = self._sample_source()
+                target_time = self._rng.lognormvariate(
+                    workload.trip_log_mean, workload.trip_log_sigma
+                )
+                destination = self._node_at_travel_time(source, target_time)
             if destination == source:
                 continue
             direct = self._oracle.cost(source, destination)

@@ -61,6 +61,21 @@ class TestSimulationConfig:
         with pytest.raises(ConfigurationError):
             SimulationConfig().with_overrides(gamma=0.5)
 
+    def test_nan_and_infinity_rejected(self):
+        """NaN passes every comparison-based range check silently; the
+        explicit finiteness guard must catch it at construction."""
+        for field in ("gamma", "penalty_coefficient", "batch_period", "max_wait"):
+            with pytest.raises(ConfigurationError):
+                SimulationConfig(**{field: math.nan})
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(gamma=math.inf)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(angle_threshold=math.nan)
+
+    def test_unknown_backend_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(routing_backend="warp_drive")
+
 
 class TestWorkloadConfig:
     def test_effective_horizon_from_arrival_rate(self):
@@ -85,12 +100,65 @@ class TestWorkloadConfig:
         with pytest.raises(ConfigurationError):
             WorkloadConfig(arrival_rate=-1.0)
 
+    def test_zero_fleet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(num_vehicles=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(num_vehicles=-3)
+
+    def test_nan_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(arrival_rate=math.nan)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(horizon=math.inf)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(num_hotspots=-1)
+
     def test_with_overrides(self):
         base = WorkloadConfig(num_requests=100)
         other = base.with_overrides(num_requests=50, name="X")
         assert other.num_requests == 50
         assert other.name == "X"
         assert base.num_requests == 100
+
+
+class TestScenarioConfig:
+    def test_defaults_valid(self):
+        from repro.config import ScenarioConfig
+
+        config = ScenarioConfig()
+        assert config.refresh_policy == "coalesce"
+
+    def test_invalid_fields_rejected(self):
+        from repro.config import ScenarioConfig
+
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(refresh_policy="maybe")
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(max_stale_batches=0)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(fallback_query_budget=-1)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(slowdown_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(surge_multiplier=-0.5)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(closure_start=0.8, closure_end=0.2)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(slowdown_factor=math.nan)
+
+    def test_config_error_alias(self):
+        from repro.exceptions import ConfigError
+
+        assert ConfigError is ConfigurationError
+
+    def test_with_overrides(self):
+        from repro.config import ScenarioConfig
+
+        base = ScenarioConfig()
+        other = base.with_overrides(refresh_policy="eager")
+        assert other.refresh_policy == "eager"
+        assert base.refresh_policy == "coalesce"
 
 
 class TestExperimentConfig:

@@ -1,0 +1,140 @@
+"""Mid-simulation network mutation: every backend stays exact.
+
+The dynamic-world scenario engine reweights and removes edges while oracles
+hold preprocessed structures.  The load-bearing properties:
+
+* after every mutation burst, a rebuilt (or fallback-serving) oracle of any
+  backend agrees with a fresh Dijkstra over the mutated network, and
+* closed edges never appear in returned paths.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import UnreachableError
+from repro.network.generators import grid_city
+from repro.network.shortest_path import DistanceOracle
+
+ALL_BACKENDS = ("dijkstra", "alt", "ch", "hub_label")
+
+
+def _city(seed: int = 3):
+    return grid_city(
+        7, 7, block_length=150.0, perturbation=0.2, express_fraction=0.04, seed=seed
+    )
+
+
+def _reference_costs(network, pairs):
+    reference = DistanceOracle(network, cache_size=0, backend="dijkstra")
+    return {pair: reference.cost(*pair) for pair in pairs}
+
+
+def _assert_parity(oracle, network, pairs):
+    expected = _reference_costs(network, pairs)
+    for (u, v), want in expected.items():
+        got = oracle.cost(u, v)
+        if math.isinf(want):
+            assert math.isinf(got), (u, v)
+        else:
+            assert got == pytest.approx(want, abs=1e-6), (u, v)
+
+
+def _mutation_bursts(network, rng):
+    """Three bursts: reweight, close, reopen -- returns closed-edge sets."""
+    edges = sorted(network.edges())
+    # Burst 1: slow a random edge subset down 3x.
+    reweighted = rng.sample(edges, 12)
+    for u, v, cost in reweighted:
+        network.add_edge(u, v, cost * 3.0)
+    yield set()
+    # Burst 2: close a handful of safe edges (keep degrees positive).
+    closed: set[tuple[int, int]] = set()
+    for u, v, cost in rng.sample(edges, 20):
+        if len(closed) == 6:
+            break
+        if not network.has_edge(u, v):
+            continue
+        if network.out_degree(u) <= 1 or sum(1 for _ in network.predecessors(v)) <= 1:
+            continue
+        network.remove_edge(u, v)
+        closed.add((u, v))
+    assert closed
+    yield closed
+    # Burst 3: reopen everything at the original cost.
+    for u, v in sorted(closed):
+        original = next(c for (a, b, c) in edges if (a, b) == (u, v))
+        network.add_edge(u, v, original)
+    yield set()
+
+
+class TestMutationParity:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_rebuild_matches_fresh_dijkstra_after_each_burst(self, backend):
+        network = _city()
+        rng = random.Random(11)
+        nodes = list(network.nodes())
+        pairs = [tuple(rng.sample(nodes, 2)) for _ in range(60)]
+        oracle = DistanceOracle(network, backend=backend)
+        _assert_parity(oracle, network, pairs)
+        for closed in _mutation_bursts(network, rng):
+            assert oracle.is_stale
+            oracle.rebuild()
+            assert not oracle.is_stale and not oracle.serving_fallback
+            _assert_parity(oracle, network, pairs)
+            for u, v in pairs[:20]:
+                try:
+                    path = oracle.path(u, v)
+                except UnreachableError:
+                    continue
+                legs = list(zip(path, path[1:]))
+                assert all(network.has_edge(a, b) for a, b in legs)
+                assert not closed.intersection(legs)
+
+    @pytest.mark.parametrize("backend", ("ch", "hub_label"))
+    def test_fallback_is_exact_without_rebuild(self, backend):
+        """The Dijkstra fallback serves the dirty window exactly while the
+        preprocessed structures are stale."""
+        network = _city(seed=9)
+        rng = random.Random(4)
+        nodes = list(network.nodes())
+        pairs = [tuple(rng.sample(nodes, 2)) for _ in range(40)]
+        oracle = DistanceOracle(network, backend=backend)
+        for (u, v) in pairs[:5]:
+            oracle.cost(u, v)  # force preprocessing on the pristine network
+        for closed in _mutation_bursts(network, rng):
+            oracle.enable_fallback()
+            assert oracle.serving_fallback and not oracle.is_stale
+            _assert_parity(oracle, network, pairs)
+            for u, v in pairs[:10]:
+                try:
+                    path = oracle.path(u, v)
+                except UnreachableError:
+                    continue
+                legs = list(zip(path, path[1:]))
+                assert all(network.has_edge(a, b) for a, b in legs)
+                assert not closed.intersection(legs)
+        assert oracle.stats.fallback_queries > 0
+        oracle.rebuild()
+        assert not oracle.serving_fallback
+        _assert_parity(oracle, network, pairs)
+
+    def test_stale_oracle_detects_mutation(self):
+        network = _city(seed=5)
+        oracle = DistanceOracle(network, backend="ch")
+        assert not oracle.is_stale
+        u, v, cost = next(iter(network.edges()))
+        network.add_edge(u, v, cost * 2.0)
+        assert oracle.is_stale
+
+    def test_rebuild_reports_wall_clock(self):
+        network = _city(seed=6)
+        oracle = DistanceOracle(network, backend="hub_label")
+        oracle.cost(0, 5)
+        u, v, cost = next(iter(network.edges()))
+        network.add_edge(u, v, cost * 2.0)
+        seconds = oracle.rebuild()
+        assert seconds > 0.0

@@ -212,7 +212,10 @@ class TestQueryStatistics:
             oracle.many_to_many(nodes[:4], nodes[10:13])
             snapshots[backend] = oracle.stats.snapshot()
         reference = snapshots["dijkstra"]
-        assert set(reference) == {"queries", "cache_hits", "searches", "settled_nodes"}
+        assert set(reference) == {
+            "queries", "cache_hits", "searches", "settled_nodes",
+            "fallback_queries",
+        }
         for backend, snapshot in snapshots.items():
             assert set(snapshot) == set(reference)
             assert snapshot["queries"] == reference["queries"], backend
@@ -311,7 +314,7 @@ class TestConfigurationAndSharing:
     def test_fingerprint_is_constant_time(self, grid_network):
         """The fingerprint must not iterate edges (the old XOR checksum was
         O(E) per oracle construction and could cancel out)."""
-        from repro.network.routing.backends import _fingerprint
+        from repro.network.routing.backends import network_fingerprint as _fingerprint
 
         calls = 0
         original = type(grid_network).edges

@@ -1,0 +1,448 @@
+"""Tests for the dynamic-world scenario engine.
+
+Covers the event vocabulary, the timeline, the refresh policies, the
+generator's surge modulation, the scenario presets and the full simulator
+integration (including the acceptance property: cost parity with a fresh
+Dijkstra and zero closed edges in paths after every event of a
+``bridge_closure`` run on the preprocessed backends).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.config import DemandSurge, ScenarioConfig, SimulationConfig, WorkloadConfig
+from repro.dispatch import make_dispatcher
+from repro.exceptions import ConfigurationError, ScenarioError
+from repro.model.request import Request
+from repro.model.vehicle import Vehicle
+from repro.network.generators import grid_city
+from repro.network.grid_index import GridIndex
+from repro.network.shortest_path import DistanceOracle
+from repro.scenarios import (
+    CancelRequests,
+    CloseEdges,
+    ReopenEdges,
+    ScaleEdges,
+    ScenarioTimeline,
+    VehicleShiftEnd,
+    VehicleShiftStart,
+    WorldView,
+    corridor_edges,
+    make_refresh_policy,
+    make_scenario,
+    make_scenario_workload,
+    traffic_wave,
+    zone_edges,
+)
+from repro.simulation.engine import Simulator
+from repro.simulation.events import EventKind
+from repro.simulation.metrics import MetricsCollector
+from repro.workloads.presets import make_workload
+from repro.workloads.requests_gen import RequestGenerator
+
+
+@pytest.fixture()
+def city():
+    return grid_city(
+        6, 6, block_length=150.0, perturbation=0.15, express_fraction=0.03, seed=2
+    )
+
+
+def _world(network, **overrides) -> WorldView:
+    defaults = dict(
+        now=10.0,
+        network=network,
+        oracle=None,
+        vehicles=[],
+        vehicles_by_id={},
+        pending={},
+        vehicle_index=GridIndex.for_network(network),
+        metrics=MetricsCollector(),
+    )
+    defaults.update(overrides)
+    return WorldView(**defaults)
+
+
+class TestWorldEvents:
+    def test_scale_edges_multiplies_costs(self, city):
+        (u, v, cost) = next(iter(city.edges()))
+        world = _world(city)
+        mutations = ScaleEdges(5.0, [(u, v)], 2.5, bidirectional=False).apply(world)
+        assert mutations == 1
+        assert city.edge_cost(u, v) == pytest.approx(cost * 2.5)
+
+    def test_traffic_wave_restores_free_flow_exactly(self, city):
+        edges = zone_edges(city, *city.position(0), 400.0)
+        before = {e: city.edge_cost(*e) for e in edges}
+        slowdown, recovery = traffic_wave(edges, 1.8, 10.0, 50.0)
+        world = _world(city)
+        slowdown.apply(world)
+        assert city.edge_cost(*edges[0]) == pytest.approx(before[edges[0]] * 1.8)
+        recovery.apply(world)
+        # Exact bit-for-bit restore (the recovery replays the remembered
+        # costs; an inverse multiplication would leave ulp drift on the
+        # shared network run after run).
+        for e, cost in before.items():
+            assert city.edge_cost(*e) == cost
+
+    def test_close_and_reopen_round_trips(self, city):
+        corridor = corridor_edges(city)
+        costs = {e: city.edge_cost(*e) for e in corridor}
+        closure = CloseEdges(5.0, corridor)
+        world = _world(city)
+        removed = closure.apply(world)
+        assert removed == len(closure.closed) > 0
+        for u, v, _ in closure.closed:
+            assert not city.has_edge(u, v)
+        ReopenEdges(9.0, closure).apply(world)
+        for e, cost in costs.items():
+            assert city.edge_cost(*e) == pytest.approx(cost)
+
+    def test_closure_skips_edges_that_would_dead_end(self, city):
+        # Close everything around node 0 -- the guard must leave the node
+        # with at least one outgoing and one incoming edge.
+        neighbors = [v for v, _ in city.neighbors(0)]
+        CloseEdges(1.0, [(0, v) for v in neighbors]).apply(_world(city))
+        assert city.out_degree(0) >= 1
+        assert sum(1 for _ in city.predecessors(0)) >= 1
+
+    def test_invalid_events_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScaleEdges(1.0, [], 0.0)
+        with pytest.raises(ConfigurationError):
+            ScaleEdges(-1.0, [], 2.0)
+        with pytest.raises(ConfigurationError):
+            ScaleEdges(1.0, [], math.nan)
+        with pytest.raises(ConfigurationError):
+            ReopenEdges(1.0, None)
+        with pytest.raises(ConfigurationError):
+            ReopenEdges(1.0, CloseEdges(5.0, []))
+        with pytest.raises(ConfigurationError):
+            traffic_wave([], 2.0, 30.0, 20.0)
+
+    def test_cancellation_only_touches_pending(self, city):
+        pending = {
+            7: Request.create(
+                request_id=7, source=0, destination=5, release_time=0.0,
+                direct_cost=100.0, gamma=1.5, max_wait=300.0,
+            )
+        }
+        metrics = MetricsCollector()
+        world = _world(city, pending=pending, metrics=metrics)
+        CancelRequests(5.0, [7, 8, 9]).apply(world)
+        assert pending == {}
+        assert metrics.cancelled_requests == 1
+
+    def test_shift_start_and_end(self, city):
+        vehicles: list[Vehicle] = []
+        by_id: dict[int, Vehicle] = {}
+        index = GridIndex.for_network(city)
+        world = _world(city, vehicles=vehicles, vehicles_by_id=by_id,
+                       vehicle_index=index, now=42.0)
+        VehicleShiftStart(42.0, [(100, 0, 4), (101, 5, 2)]).apply(world)
+        assert {v.vehicle_id for v in vehicles} == {100, 101}
+        assert by_id[100]._clock == 42.0
+        assert 100 in index and 101 in index
+        VehicleShiftEnd(60.0, [100, 999]).apply(world)  # unknown id ignored
+        assert not by_id[100].on_shift and by_id[101].on_shift
+        assert 100 not in index and 101 in index
+        with pytest.raises(ScenarioError):
+            VehicleShiftStart(61.0, [(101, 0, 4)]).apply(world)
+
+    def test_shift_start_rejects_unknown_node(self, city):
+        with pytest.raises(ScenarioError):
+            VehicleShiftStart(1.0, [(200, 99_999, 4)]).apply(_world(city))
+
+
+class TestTimeline:
+    def test_orders_and_pops_due_events(self):
+        events = [ScaleEdges(30.0, [], 2.0), ScaleEdges(10.0, [], 2.0),
+                  ScaleEdges(20.0, [], 2.0)]
+        timeline = ScenarioTimeline(events)
+        assert len(timeline) == 3
+        assert timeline.has_due(10.0)
+        due = timeline.pop_due(20.0)
+        assert [e.time for e in due] == [10.0, 20.0]
+        assert timeline.remaining == 1
+        assert not timeline.has_due(25.0)
+        assert [e.time for e in timeline.pop_due(math.inf)] == [30.0]
+
+    def test_scenario_builds_fresh_events_per_run(self, city):
+        scenario = make_scenario("bridge_closure", city, horizon=100.0)
+        first = scenario.make_timeline()
+        second = scenario.make_timeline()
+        assert first.pop_due(math.inf)[0] is not second.pop_due(math.inf)[0]
+
+
+class TestRefreshPolicies:
+    def _mutated(self, city, backend="ch"):
+        oracle = DistanceOracle(city, backend=backend)
+        oracle.cost(0, 7)
+        u, v, cost = next(iter(city.edges()))
+        city.add_edge(u, v, cost * 2.0)
+        return oracle
+
+    def test_eager_rebuilds_per_burst(self, city):
+        policy = make_refresh_policy("eager")
+        oracle = self._mutated(city)
+        policy.on_mutations(oracle, 10.0, 1)
+        assert policy.stats.rebuilds == 1 and not oracle.is_stale
+        assert not oracle.serving_fallback
+
+    def test_deferred_respects_batch_budget(self, city):
+        policy = make_refresh_policy(
+            "deferred", config=ScenarioConfig(
+                refresh_policy="deferred", max_stale_batches=2,
+                fallback_query_budget=10_000,
+            )
+        )
+        oracle = self._mutated(city)
+        policy.on_mutations(oracle, 10.0, 1)
+        assert oracle.serving_fallback and policy.stats.rebuilds == 0
+        policy.on_batch_start(oracle, 13.0, False)
+        assert policy.stats.rebuilds == 0
+        policy.on_batch_start(oracle, 16.0, False)
+        assert policy.stats.rebuilds == 1 and not oracle.serving_fallback
+        assert policy.stats.stale_batches == 2
+        assert policy.stats.stale_seconds > 0.0
+
+    def test_deferred_respects_query_budget(self, city):
+        policy = make_refresh_policy(
+            "deferred", config=ScenarioConfig(
+                refresh_policy="deferred", max_stale_batches=99,
+                fallback_query_budget=5,
+            )
+        )
+        oracle = self._mutated(city)
+        policy.on_mutations(oracle, 10.0, 1)
+        rng = random.Random(0)
+        nodes = list(city.nodes())
+        for _ in range(10):
+            oracle.cost(*rng.sample(nodes, 2))
+        policy.on_batch_start(oracle, 13.0, False)
+        assert policy.stats.rebuilds == 1
+
+    def test_coalesce_waits_for_quiet_boundary(self, city):
+        policy = make_refresh_policy("coalesce")
+        oracle = self._mutated(city)
+        policy.on_mutations(oracle, 10.0, 1)
+        policy.on_batch_start(oracle, 13.0, True)  # more events due: hold
+        assert policy.stats.rebuilds == 0 and oracle.serving_fallback
+        policy.on_mutations(oracle, 13.0, 1)
+        policy.on_batch_start(oracle, 16.0, False)  # quiet: rebuild once
+        assert policy.stats.rebuilds == 1 and not oracle.serving_fallback
+        assert policy.stats.mutation_bursts == 2
+
+    def test_finalize_clears_any_staleness(self, city):
+        policy = make_refresh_policy("coalesce")
+        oracle = self._mutated(city)
+        policy.on_mutations(oracle, 10.0, 1)
+        policy.finalize(oracle)
+        assert policy.stats.rebuilds == 1
+        assert not oracle.serving_fallback and not oracle.is_stale
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_refresh_policy("sometimes")
+
+
+class TestSurgeModulation:
+    def _generator(self, city, num_requests=400, seed=5):
+        workload = WorkloadConfig(
+            num_requests=num_requests, num_vehicles=10, horizon=1000.0, seed=seed
+        )
+        simulation = SimulationConfig()
+        oracle = DistanceOracle(city)
+        return RequestGenerator(city, oracle, workload, simulation), workload
+
+    def test_surge_concentrates_arrivals(self, city):
+        generator, workload = self._generator(city)
+        surge = DemandSurge(start=200.0, end=400.0, rate_multiplier=4.0)
+        requests = generator.generate(surges=(surge,))
+        assert len(requests) == workload.num_requests
+        in_window = sum(1 for r in requests if 200.0 <= r.release_time < 400.0)
+        # 20% of the horizon at 4x intensity ~ 50% of the mass.
+        assert in_window / len(requests) > 0.35
+
+    def test_outbound_surge_anchors_origins(self, city):
+        center = 0
+        cx, cy = city.position(center)
+        generator, _ = self._generator(city)
+        surge = DemandSurge(
+            start=0.0, end=1000.0, rate_multiplier=1.0, center=center,
+            attraction=1.0, direction="outbound",
+        )
+        anchored = generator.generate(surges=(surge,))
+        distances = [
+            math.hypot(*(a - b for a, b in zip(city.position(r.source), (cx, cy))))
+            for r in anchored
+        ]
+        baseline_gen, _ = self._generator(city)
+        baseline = [
+            math.hypot(*(a - b for a, b in zip(city.position(r.source), (cx, cy))))
+            for r in baseline_gen.generate()
+        ]
+        assert sorted(distances)[len(distances) // 2] < sorted(baseline)[len(baseline) // 2]
+
+    def test_surge_validation(self):
+        with pytest.raises(ConfigurationError):
+            DemandSurge(start=10.0, end=10.0)
+        with pytest.raises(ConfigurationError):
+            DemandSurge(start=0.0, end=10.0, rate_multiplier=-1.0)
+        with pytest.raises(ConfigurationError):
+            DemandSurge(start=0.0, end=10.0, attraction=1.5)
+        with pytest.raises(ConfigurationError):
+            DemandSurge(start=0.0, end=10.0, direction="sideways")
+
+    def test_no_surges_reproduces_baseline(self, city):
+        first, _ = self._generator(city, num_requests=60)
+        second, _ = self._generator(city, num_requests=60)
+        with_empty = first.generate(surges=())
+        without = second.generate()
+        assert [(r.source, r.destination, r.release_time) for r in with_empty] == [
+            (r.source, r.destination, r.release_time) for r in without
+        ]
+
+
+class TestScenarioPresets:
+    def test_all_presets_build(self, city):
+        for name in ("rush_hour", "bridge_closure", "stadium_surge"):
+            scenario = make_scenario(name, city, horizon=600.0, num_requests=100)
+            assert scenario.name == name
+            timeline = scenario.make_timeline()
+            assert len(timeline) > 0
+            assert all(0 <= e.time <= 600.0 for e in timeline.pop_due(math.inf))
+
+    def test_unknown_preset_rejected(self, city):
+        with pytest.raises(ConfigurationError):
+            make_scenario("earthquake", city, horizon=600.0)
+        with pytest.raises(ConfigurationError):
+            make_scenario("rush_hour", city, horizon=-5.0)
+
+    def test_make_scenario_workload_bundles_surges(self):
+        workload, scenario = make_scenario_workload(
+            "nyc", "stadium_surge", scale=0.05, city_scale=0.35
+        )
+        assert scenario.name == "stadium_surge"
+        assert scenario.surges
+        assert workload.num_requests > 0
+        # The surge anchors outbound demand: the workload must have been
+        # generated over the same network the scenario derives its zones
+        # from.
+        assert scenario.surges[0].center in workload.network
+
+
+class TestSimulatorIntegration:
+    def _run(self, scenario_name, backend, policy, on_applied=None, scale=0.06):
+        workload, scenario = make_scenario_workload(
+            "nyc", scenario_name, scale=scale, city_scale=0.35,
+            simulation_overrides={"routing_backend": backend},
+        )
+        simulator = Simulator(
+            network=workload.network,
+            oracle=workload.fresh_oracle(),
+            vehicles=workload.fresh_vehicles(),
+            requests=list(workload.requests),
+            dispatcher=make_dispatcher("pruneGDP"),
+            config=workload.simulation_config,
+            timeline=scenario.make_timeline(on_applied=on_applied),
+            refresh_policy=policy,
+        )
+        return simulator.run()
+
+    @pytest.mark.parametrize("backend", ("ch", "hub_label"))
+    @pytest.mark.parametrize("policy", ("eager", "deferred", "coalesce"))
+    def test_bridge_closure_parity_and_no_closed_edges(self, backend, policy):
+        """Acceptance: after every event the oracle matches a fresh Dijkstra
+        and no returned path crosses a closed (absent) edge."""
+        rng = random.Random(13)
+        checks = {"bursts": 0}
+
+        def probe(world):
+            checks["bursts"] += 1
+            network = world.network
+            nodes = list(network.nodes())
+            pairs = [tuple(rng.sample(nodes, 2)) for _ in range(15)]
+            reference = DistanceOracle(network, cache_size=0, backend="dijkstra")
+            for u, v in pairs:
+                want = reference.cost(u, v)
+                got = world.oracle.cost(u, v)
+                if math.isinf(want):
+                    assert math.isinf(got)
+                    continue
+                assert got == pytest.approx(want, abs=1e-6)
+                path = world.oracle.path(u, v)
+                assert all(network.has_edge(a, b) for a, b in zip(path, path[1:]))
+
+        result = self._run("bridge_closure", backend, policy, on_applied=probe)
+        assert checks["bursts"] == 2  # closure + reopening
+        assert result.metrics.scenario_events == 2
+        assert result.metrics.oracle_rebuilds >= 1
+        if policy != "eager":
+            assert result.metrics.oracle_fallback_queries > 0
+            assert result.metrics.oracle_stale_seconds > 0.0
+
+    def test_stadium_surge_full_machinery(self):
+        result = self._run("stadium_surge", "hub_label", "coalesce", scale=0.08)
+        events = result.events
+        assert events.count(EventKind.VEHICLE_SHIFT_STARTED) == 6
+        assert events.count(EventKind.VEHICLE_SHIFT_ENDED) == 6
+        assert events.count(EventKind.EDGES_RESCALED) == 2
+        assert result.metrics.scenario_events >= 4
+        assert result.metrics.oracle_rebuilds >= 1
+
+    def test_off_shift_vehicles_get_no_new_assignments(self):
+        """After a shift end, the retired vehicle appears in no further
+        assignment events."""
+        workload = make_workload(
+            "nyc", scale=0.05, city_scale=0.35,
+        )
+        retired = workload.fresh_vehicles()[0].vehicle_id
+        horizon = workload.workload_config.effective_horizon
+        timeline = ScenarioTimeline([VehicleShiftEnd(horizon * 0.3, [retired])])
+        simulator = Simulator(
+            network=workload.network,
+            oracle=workload.fresh_oracle(),
+            vehicles=workload.fresh_vehicles(),
+            requests=list(workload.requests),
+            dispatcher=make_dispatcher("pruneGDP"),
+            config=workload.simulation_config,
+            timeline=timeline,
+        )
+        result = simulator.run()
+        shift_end_time = next(
+            e.time for e in result.events
+            if e.kind is EventKind.VEHICLE_SHIFT_ENDED
+        )
+        late_assignments = [
+            e for e in result.events
+            if e.kind is EventKind.REQUEST_ASSIGNED
+            and e.other == retired and e.time > shift_end_time
+        ]
+        assert late_assignments == []
+
+    def test_network_restored_across_runs(self):
+        workload, scenario = make_scenario_workload(
+            "nyc", "bridge_closure", scale=0.05, city_scale=0.35,
+        )
+        edges_before = workload.network.num_edges
+        mutations_before = None
+        for _ in range(2):
+            simulator = Simulator(
+                network=workload.network,
+                oracle=workload.fresh_oracle(),
+                vehicles=workload.fresh_vehicles(),
+                requests=list(workload.requests),
+                dispatcher=make_dispatcher("pruneGDP"),
+                config=workload.simulation_config,
+                timeline=scenario.make_timeline(),
+            )
+            simulator.run()
+            assert workload.network.num_edges == edges_before
+            if mutations_before is not None:
+                assert workload.network.mutation_count > mutations_before
+            mutations_before = workload.network.mutation_count
