@@ -57,6 +57,10 @@ HISTORY = (
     "  PR 3: CH upward adjacency flattened (CSR arrays + per-node tuple "
     "views) and query state moved to version-stamped flat arrays: "
     "ch 82.9 -> 67.6 us/query (settled/q unchanged at 48.5).",
+    "  PR 5: CH build records repair-support effects (shortcuts, reductions, "
+    "witness sets) for incremental repair: ch build 59.9 -> 63.3 ms, query "
+    "us unchanged; this table is now the CI regression-gate baseline "
+    "(check_regression.py, >30% us/query fails).",
 )
 
 #: Fixed-seed scenario used by the cross-backend assignment check.

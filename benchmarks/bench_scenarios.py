@@ -1,39 +1,35 @@
 """Benchmark of the dynamic-world scenario engine and oracle refresh policies.
 
 Runs the ``bridge_closure`` and ``rush_hour`` scenario presets on the
-preprocessed routing backends (``ch``, ``hub_label``) under all three
-refresh policies and reports the refresh overhead per policy: backend
-rebuilds and their wall-clock cost, queries served by the exact Dijkstra
-fallback while the structures were dirty, and the stale-window time.
+preprocessed routing backends (``ch``, ``hub_label``) under all four
+refresh policies -- ``eager`` | ``deferred`` | ``coalesce`` | ``repair`` --
+and reports the refresh overhead per policy: backend rebuilds and their
+wall-clock cost, incremental repairs (nodes re-contracted, snapshot hits),
+queries served by the exact Dijkstra fallback while the structures were
+dirty, and the stale-window time.
 
-Two invariants are asserted while the simulations run (via the timeline's
-``on_applied`` probe, i.e. *after every world event burst*):
-
-* cost parity: the scenario oracle agrees with a fresh Dijkstra over the
-  mutated network on a sample of random pairs, and
-* zero closed edges: every returned path uses only edges that currently
-  exist in the network.
+The grid itself lives in :func:`repro.experiments.harness.run_scenario_grid`
+(one code path for experiments, this benchmark and CI); every run here
+enables the harness parity probe, i.e. *after every world event burst* the
+scenario oracle is checked against a fresh Dijkstra over the mutated network
+and every returned path is checked to avoid closed edges.
 
 Run directly (``python benchmarks/bench_scenarios.py``) for the full table,
-``--smoke`` for the short CI job (rush_hour on both backends, one policy),
+``--smoke`` for the short CI grid (both scenarios x both backends x all
+policies at a smaller scale, with a markdown copy for the CI job summary),
 or through pytest like the other benchmarks.
 """
 
 from __future__ import annotations
 
-import math
-import random
 import sys
 
-from repro.dispatch import make_dispatcher
-from repro.network.shortest_path import DistanceOracle
-from repro.scenarios import make_scenario_workload
-from repro.simulation.engine import Simulator
+from repro.experiments.harness import run_scenario_case, run_scenario_grid
 
-from _common import save_text
+from _common import RESULTS_DIR, save_text
 
 BACKENDS = ("ch", "hub_label")
-POLICIES = ("eager", "deferred", "coalesce")
+POLICIES = ("eager", "deferred", "coalesce", "repair")
 SCENARIOS = ("bridge_closure", "rush_hour")
 #: Workload scale of the full benchmark (the smoke run shrinks it further).
 SCALE = 0.08
@@ -42,115 +38,89 @@ ALGORITHM = "SARD"
 #: Random pairs checked for parity after every event burst.
 PARITY_PAIRS = 20
 
+#: Grid columns: row key -> (printed label, value format).
+COLUMNS: dict[str, tuple[str, str]] = {
+    "scenario": ("scenario", "s"),
+    "backend": ("backend", "s"),
+    "policy": ("policy", "s"),
+    "events": ("events", "d"),
+    "rebuilds": ("rebuilds", "d"),
+    "rebuild_ms": ("rebuild ms", ".1f"),
+    "repairs": ("repairs", "d"),
+    "repair_ms": ("repair ms", ".1f"),
+    "snapshot_hits": ("snap", "d"),
+    "recontracted": ("recon", "d"),
+    "fallback_q": ("fallback q", "d"),
+    "stale_ms": ("stale ms", ".1f"),
+    "service_rate": ("svc rate", ".3f"),
+    "unified_cost": ("unified", ".0f"),
+}
+PARITY_NOTE = (
+    "Parity checked after every event burst: scenario oracle == fresh "
+    "Dijkstra on the mutated network; all returned paths avoid closed edges."
+)
 
-def run_scenario(
-    scenario_name: str,
-    backend: str,
-    policy: str,
-    *,
-    scale: float = SCALE,
-    algorithm: str = ALGORITHM,
-) -> dict:
-    """One simulated run; returns the refresh-overhead row.
 
-    The parity probe runs after every event burst (once the refresh policy
-    has made the oracle consistent again) and raises on any divergence from
-    a fresh Dijkstra or any path through a closed edge.
-    """
-    workload, scenario = make_scenario_workload(
-        "nyc",
-        scenario_name,
-        scale=scale,
-        city_scale=CITY_SCALE,
-        simulation_overrides={"routing_backend": backend},
-    )
-    rng = random.Random(99)
-    bursts = {"count": 0}
-
-    def probe(world) -> None:
-        bursts["count"] += 1
-        network = world.network
-        nodes = list(network.nodes())
-        reference = DistanceOracle(network, cache_size=0, backend="dijkstra")
-        for _ in range(PARITY_PAIRS):
-            u, v = rng.sample(nodes, 2)
-            want = reference.cost(u, v)
-            got = world.oracle.cost(u, v)
-            if math.isinf(want):
-                assert math.isinf(got), (scenario_name, backend, policy, u, v)
-                continue
-            assert abs(got - want) < 1e-6, (scenario_name, backend, policy, u, v)
-            path = world.oracle.path(u, v)
-            assert all(
-                network.has_edge(a, b) for a, b in zip(path, path[1:])
-            ), (scenario_name, backend, policy, u, v)
-
-    simulator = Simulator(
-        network=workload.network,
-        oracle=workload.fresh_oracle(),
-        vehicles=workload.fresh_vehicles(),
-        requests=list(workload.requests),
-        dispatcher=make_dispatcher(algorithm),
-        config=workload.simulation_config,
-        record_events=False,
-        timeline=scenario.make_timeline(on_applied=probe),
-        refresh_policy=policy,
-    )
-    result = simulator.run()
-    metrics = result.metrics
-    assert bursts["count"] > 0, "scenario applied no events"
-    return {
-        "scenario": scenario_name,
-        "backend": backend,
-        "policy": policy,
-        "events": metrics.scenario_events,
-        "rebuilds": metrics.oracle_rebuilds,
-        "rebuild_ms": metrics.oracle_rebuild_seconds * 1e3,
-        "fallback_q": metrics.oracle_fallback_queries,
-        "stale_ms": metrics.oracle_stale_seconds * 1e3,
-        "service_rate": metrics.service_rate,
-        "unified_cost": metrics.unified_cost,
-        "dispatch_s": metrics.dispatch_seconds,
-    }
+def _cells(row: dict) -> list[str]:
+    return [
+        f"{row[key]:{fmt}}" if fmt != "s" else str(row[key])
+        for key, (_, fmt) in COLUMNS.items()
+    ]
 
 
 def format_table(rows: list[dict], *, title: str) -> str:
+    labels = [label for label, _ in COLUMNS.values()]
+    table = [labels] + [_cells(row) for row in rows]
+    widths = [max(len(line[i]) for line in table) for i in range(len(labels))]
+    lines = [title]
+    for line in table:
+        padded = [
+            cell.ljust(width) if j < 3 else cell.rjust(width)
+            for j, (cell, width) in enumerate(zip(line, widths))
+        ]
+        lines.append(" ".join(padded).rstrip())
+    lines += ["", PARITY_NOTE]
+    return "\n".join(lines)
+
+
+def format_markdown(rows: list[dict], *, title: str) -> str:
+    """The same grid as a GitHub-flavoured markdown table (CI job summary)."""
+    labels = [label for label, _ in COLUMNS.values()]
     lines = [
-        title,
-        f"{'scenario':16s} {'backend':10s} {'policy':9s} {'events':>6s} "
-        f"{'rebuilds':>8s} {'rebuild ms':>10s} {'fallback q':>10s} "
-        f"{'stale ms':>9s} {'svc rate':>8s} {'unified':>9s}",
+        f"### {title}",
+        "",
+        "| " + " | ".join(labels) + " |",
+        "|" + "|".join("---" for _ in labels) + "|",
     ]
     for row in rows:
-        lines.append(
-            f"{row['scenario']:16s} {row['backend']:10s} {row['policy']:9s} "
-            f"{row['events']:6d} {row['rebuilds']:8d} {row['rebuild_ms']:10.1f} "
-            f"{row['fallback_q']:10d} {row['stale_ms']:9.1f} "
-            f"{row['service_rate']:8.3f} {row['unified_cost']:9.0f}"
-        )
-    lines.append("")
-    lines.append(
-        "Parity checked after every event burst: scenario oracle == fresh "
-        "Dijkstra on the mutated network; all returned paths avoid closed edges."
-    )
+        lines.append("| " + " | ".join(_cells(row)) + " |")
+    lines += ["", PARITY_NOTE]
     return "\n".join(lines)
 
 
 def full_rows() -> list[dict]:
-    return [
-        run_scenario(scenario, backend, policy)
-        for scenario in SCENARIOS
-        for backend in BACKENDS
-        for policy in POLICIES
-    ]
+    return run_scenario_grid(
+        SCENARIOS, BACKENDS, POLICIES,
+        scale=SCALE, city_scale=CITY_SCALE,
+        algorithm=ALGORITHM, parity_pairs=PARITY_PAIRS,
+    )
 
 
 def smoke_rows() -> list[dict]:
-    """The CI smoke job: a short rush_hour run on both backends."""
-    return [
-        run_scenario("rush_hour", backend, "coalesce", scale=0.04, algorithm="pruneGDP")
-        for backend in BACKENDS
-    ]
+    """The CI grid: both scenarios x both backends x all four policies."""
+    return run_scenario_grid(
+        SCENARIOS, BACKENDS, POLICIES,
+        scale=0.04, city_scale=CITY_SCALE,
+        algorithm="pruneGDP", parity_pairs=12,
+    )
+
+
+def _save_grid(rows: list[dict], name: str, title: str) -> None:
+    save_text(name, format_table(rows, title=title))
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.md").write_text(
+        format_markdown(rows, title=title) + "\n"
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -160,41 +130,55 @@ def test_scenario_refresh_overhead_smoke():
     rows = smoke_rows()
     for row in rows:
         assert row["events"] > 0
-        assert row["rebuilds"] >= 1
-    save_text(
-        "scenarios_smoke",
-        format_table(rows, title="Scenario smoke run (rush_hour, coalesce policy)"),
+        assert row["rebuilds"] + row["repairs"] >= 1
+    _save_grid(
+        rows, "scenarios_smoke",
+        "Scenario smoke grid (policy x backend, parity-gated)",
     )
 
 
 def test_policies_trade_rebuilds_for_fallback():
     """Deferred/coalesce must actually serve fallback queries where eager
     never does, on the same bridge_closure scenario."""
-    eager = run_scenario("bridge_closure", "ch", "eager", scale=0.05)
-    coalesce = run_scenario("bridge_closure", "ch", "coalesce", scale=0.05)
+    eager = run_scenario_case("bridge_closure", "ch", "eager", scale=0.05)
+    coalesce = run_scenario_case("bridge_closure", "ch", "coalesce", scale=0.05)
     assert eager["fallback_q"] == 0
     assert coalesce["fallback_q"] > 0
     assert coalesce["stale_ms"] > 0.0
 
 
+def test_repair_beats_eager_rebuild():
+    """The acceptance gate of the repair policy: on both presets, at city
+    scale, repair absorbs every burst exactly (the parity probe runs in both
+    cells) while spending less total refresh wall-clock than eager's
+    rebuild-per-burst -- and any incremental re-contraction stays under 20%
+    of the nodes per burst (the policy's fraction cap guarantees it)."""
+    for scenario in SCENARIOS:
+        eager = run_scenario_case(
+            scenario, "ch", "eager",
+            scale=SCALE, city_scale=CITY_SCALE, parity_pairs=PARITY_PAIRS,
+        )
+        repair = run_scenario_case(
+            scenario, "ch", "repair",
+            scale=SCALE, city_scale=CITY_SCALE, parity_pairs=PARITY_PAIRS,
+        )
+        assert repair["repairs"] >= 1, (scenario, repair)
+        assert repair["refresh_ms"] < eager["refresh_ms"], (scenario, repair, eager)
+
+
 def main() -> None:
     if "--smoke" in sys.argv:
-        rows = smoke_rows()
-        save_text(
-            "scenarios_smoke",
-            format_table(rows, title="Scenario smoke run (rush_hour, coalesce policy)"),
+        _save_grid(
+            smoke_rows(), "scenarios_smoke",
+            "Scenario smoke grid (policy x backend, parity-gated)",
         )
         return
-    rows = full_rows()
-    save_text(
-        "scenarios",
-        format_table(
-            rows,
-            title=(
-                "Dynamic-world scenario engine: oracle refresh overhead per "
-                f"policy (NYC scale {CITY_SCALE}, {ALGORITHM}, "
-                f"request scale {SCALE})"
-            ),
+    _save_grid(
+        full_rows(), "scenarios",
+        (
+            "Dynamic-world scenario engine: oracle refresh overhead per "
+            f"policy (NYC scale {CITY_SCALE}, {ALGORITHM}, "
+            f"request scale {SCALE})"
         ),
     )
 

@@ -15,6 +15,7 @@ Run with::
 from __future__ import annotations
 
 from repro import SARDDispatcher, Simulator, make_scenario_workload
+from repro.scenarios import make_refresh_policy
 from repro.simulation.events import EventKind
 
 
@@ -45,7 +46,10 @@ def main() -> None:
         dispatcher=SARDDispatcher(),
         config=workload.simulation_config,
         timeline=timeline,
-        refresh_policy=scenario.config.refresh_policy,
+        # Built from the scenario's config so its policy knobs (staleness
+        # budgets, repair fraction cap) apply; a bare name string would use
+        # that policy's defaults instead.
+        refresh_policy=make_refresh_policy(config=scenario.config),
     )
     result = simulator.run()
     metrics = result.metrics

@@ -36,7 +36,7 @@ DEFAULT_ANGLE_THRESHOLD = math.pi / 2.0
 #: Oracle refresh policies accepted by ``ScenarioConfig.refresh_policy``
 #: (must match :data:`repro.scenarios.refresh.POLICY_NAMES`; duplicated here
 #: so the config layer stays import-free of the scenario package).
-REFRESH_POLICIES = ("eager", "deferred", "coalesce")
+REFRESH_POLICIES = ("eager", "deferred", "coalesce", "repair")
 
 
 def _require_finite(name: str, value: float) -> None:
@@ -281,10 +281,15 @@ class ScenarioConfig:
     #: burst, ``"deferred"`` serves dirty windows via a Dijkstra fallback
     #: until a staleness budget runs out, ``"coalesce"`` folds all bursts
     #: since the last rebuild into one rebuild at the next quiet batch
-    #: boundary.
+    #: boundary, ``"repair"`` re-contracts only the affected cells of the
+    #: contraction hierarchy (with snapshot swaps for exact reversions).
     refresh_policy: str = "coalesce"
     #: Deferred policy: rebuild after this many batches served stale.
     max_stale_batches: int = 3
+    #: Repair policy: fall back to a full rebuild when the affected node
+    #: set of a mutation burst exceeds this fraction of all nodes (past
+    #: that point a rebuild is cheaper than splicing the repairs in).
+    repair_max_fraction: float = 0.2
     #: Deferred policy: rebuild once this many queries were served by the
     #: Dijkstra fallback since the preprocessed structures went stale (the
     #: budget bounds the *total* stale-serving work, across bursts that land
@@ -304,6 +309,7 @@ class ScenarioConfig:
     def __post_init__(self) -> None:
         for name in (
             "slowdown_factor", "surge_multiplier", "closure_start", "closure_end",
+            "repair_max_fraction",
         ):
             _require_finite(name, getattr(self, name))
         if self.refresh_policy not in REFRESH_POLICIES:
@@ -315,6 +321,10 @@ class ScenarioConfig:
             raise ConfigurationError("max_stale_batches must be at least 1")
         if self.fallback_query_budget < 0:
             raise ConfigurationError("fallback_query_budget must be non-negative")
+        if not 0.0 < self.repair_max_fraction <= 1.0:
+            raise ConfigurationError(
+                f"repair_max_fraction must be in (0, 1] (got {self.repair_max_fraction})"
+            )
         if self.slowdown_factor <= 0:
             raise ConfigurationError(
                 f"slowdown_factor must be positive (got {self.slowdown_factor})"

@@ -1,14 +1,27 @@
-"""Parameter-sweep harness used by every figure and table reproduction."""
+"""Parameter-sweep harness used by every figure and table reproduction.
+
+Besides the figure sweeps (:class:`ExperimentRunner`), this module owns the
+dynamic-world *scenario grid*: :func:`run_scenario_case` runs one
+``(scenario, backend, refresh-policy)`` cell with an optional exact-parity
+probe after every event burst, and :func:`run_scenario_grid` sweeps the full
+product.  The scenario benchmarks (``benchmarks/bench_scenarios.py``) and
+the CI scenario job are thin wrappers over these two functions, so
+experiments and CI exercise one code path.
+"""
 
 from __future__ import annotations
 
+import math
+import random
 from dataclasses import dataclass, field
 from collections.abc import Iterable, Sequence
 
-from ..config import SimulationConfig
+from ..config import ScenarioConfig, SimulationConfig
 from ..dispatch import make_dispatcher
 from ..dispatch.base import Dispatcher
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, ScenarioError
+from ..network.shortest_path import DistanceOracle
+from ..scenarios.presets import make_scenario_workload
 from ..scenarios.refresh import make_refresh_policy
 from ..scenarios.timeline import Scenario
 from ..simulation.engine import SimulationResult, Simulator
@@ -266,6 +279,7 @@ class ExperimentRunner:
             simulation_overrides=simulation_overrides,
         )
 
+    # ------------------------------------------------------------------ #
     def _to_row(
         self,
         workload: Workload,
@@ -288,3 +302,137 @@ class ExperimentRunner:
             assigned_requests=metrics.assigned_requests,
             total_requests=metrics.total_requests,
         )
+
+
+# ---------------------------------------------------------------------- #
+# dynamic-world scenario grid (shared by benchmarks, experiments and CI)
+# ---------------------------------------------------------------------- #
+def _parity_probe(context: dict, pairs: int, seed: int):
+    """Build the after-every-burst exactness probe for a scenario run.
+
+    The probe compares the scenario oracle against a fresh Dijkstra over the
+    *mutated* network on random pairs and checks that every returned path
+    only uses edges that currently exist; any divergence raises
+    :class:`ScenarioError` (not ``assert``, so the gate also holds under
+    ``python -O``).
+    """
+    rng = random.Random(seed)
+
+    def probe(world) -> None:
+        context["bursts"] += 1
+        network = world.network
+        nodes = list(network.nodes())
+        reference = DistanceOracle(network, cache_size=0, backend="dijkstra")
+        for _ in range(pairs):
+            u, v = rng.sample(nodes, 2)
+            want = reference.cost(u, v)
+            got = world.oracle.cost(u, v)
+            if math.isinf(want):
+                if not math.isinf(got):
+                    raise ScenarioError(
+                        f"parity violation: {u}->{v} reachable ({got}) on the "
+                        f"scenario oracle but not for fresh Dijkstra"
+                    )
+                continue
+            if abs(got - want) > 1e-6:
+                raise ScenarioError(
+                    f"parity violation: cost({u}, {v}) = {got} on the scenario "
+                    f"oracle vs {want} for fresh Dijkstra"
+                )
+            path = world.oracle.path(u, v)
+            for a, b in zip(path, path[1:]):
+                if not network.has_edge(a, b):
+                    raise ScenarioError(
+                        f"path({u}, {v}) uses the missing edge {a}->{b}"
+                    )
+
+    return probe
+
+
+def run_scenario_case(
+    scenario: str,
+    backend: str,
+    policy: str,
+    *,
+    preset: str = "nyc",
+    algorithm: str = "SARD",
+    scale: float = 0.08,
+    city_scale: float = 0.4,
+    parity_pairs: int = 0,
+    parity_seed: int = 99,
+    scenario_config: ScenarioConfig | None = None,
+) -> dict:
+    """Run one (scenario, backend, refresh-policy) cell of the grid.
+
+    Returns a flat row with the refresh-overhead columns (rebuilds, repair
+    work, fallback queries, stale time) next to the dispatch metrics.  With
+    ``parity_pairs > 0`` an exactness probe runs after every event burst
+    (once the refresh policy has made the oracle consistent) and raises on
+    any divergence from a fresh Dijkstra over the mutated network.
+    """
+    workload, built = make_scenario_workload(
+        preset,
+        scenario,
+        scale=scale,
+        city_scale=city_scale,
+        scenario_config=scenario_config,
+        simulation_overrides={"routing_backend": backend},
+    )
+    context = {"bursts": 0}
+    on_applied = (
+        _parity_probe(context, parity_pairs, parity_seed) if parity_pairs else None
+    )
+    simulator = Simulator(
+        network=workload.network,
+        oracle=workload.fresh_oracle(),
+        vehicles=workload.fresh_vehicles(),
+        requests=list(workload.requests),
+        dispatcher=make_dispatcher(algorithm),
+        config=workload.simulation_config,
+        record_events=False,
+        timeline=built.make_timeline(on_applied=on_applied),
+        refresh_policy=make_refresh_policy(policy, config=built.config),
+    )
+    metrics = simulator.run().metrics
+    if parity_pairs and context["bursts"] == 0:
+        raise ScenarioError(f"scenario {scenario!r} applied no events")
+    return {
+        "scenario": scenario,
+        "backend": backend,
+        "policy": policy,
+        "events": metrics.scenario_events,
+        "rebuilds": metrics.oracle_rebuilds,
+        "rebuild_ms": metrics.oracle_rebuild_seconds * 1e3,
+        "repairs": metrics.oracle_repairs,
+        "repair_ms": metrics.oracle_repair_seconds * 1e3,
+        "snapshot_hits": metrics.oracle_snapshot_hits,
+        "recontracted": metrics.oracle_nodes_recontracted,
+        "refresh_ms": (
+            metrics.oracle_rebuild_seconds + metrics.oracle_repair_seconds
+        ) * 1e3,
+        "fallback_q": metrics.oracle_fallback_queries,
+        "stale_ms": metrics.oracle_stale_seconds * 1e3,
+        "service_rate": metrics.service_rate,
+        "unified_cost": metrics.unified_cost,
+        "dispatch_s": metrics.dispatch_seconds,
+    }
+
+
+def run_scenario_grid(
+    scenarios: Sequence[str],
+    backends: Sequence[str],
+    policies: Sequence[str],
+    **case_kwargs,
+) -> list[dict]:
+    """Sweep the full scenario x backend x refresh-policy product.
+
+    This is the one code path behind the ``bench_scenarios`` refresh table,
+    the CI scenario job and the ROADMAP's "ScenarioConfig sweep" item; all
+    keyword arguments are forwarded to :func:`run_scenario_case`.
+    """
+    return [
+        run_scenario_case(scenario, backend, policy, **case_kwargs)
+        for scenario in scenarios
+        for backend in backends
+        for policy in policies
+    ]

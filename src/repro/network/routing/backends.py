@@ -33,7 +33,7 @@ from collections.abc import Sequence
 
 from ...exceptions import NetworkError
 from ..road_network import RoadNetwork
-from .contraction import ContractionHierarchy
+from .contraction import CHRepairStats, ContractionHierarchy
 from .csr import CSRGraph
 from .hub_labels import HubLabeling
 
@@ -66,6 +66,11 @@ class RoutingData:
         self._labeling: HubLabeling | None = None
 
     @property
+    def has_hierarchy(self) -> bool:
+        """True when the contraction hierarchy has already been built."""
+        return self._hierarchy is not None
+
+    @property
     def hierarchy(self) -> ContractionHierarchy:
         """The contraction hierarchy (built on first access)."""
         if self._hierarchy is None:
@@ -92,6 +97,84 @@ def routing_data(network: RoadNetwork) -> RoutingData:
         data = RoutingData(network)
         _ROUTING_DATA[network] = data
     return data
+
+
+# ---------------------------------------------------------------------- #
+# dynamic worlds: content signatures + incremental repair
+# ---------------------------------------------------------------------- #
+def network_content(network: RoadNetwork) -> tuple:
+    """Canonical (order-insensitive) signature of a network's routing content.
+
+    Covers the node set *and* the weighted edge set (node positions do not
+    affect routing).  Two networks with equal signatures produce identical
+    routing structures, whatever mutation path led there -- which is what
+    lets the repair layer recognise exact reversions (a wave receding, a
+    road reopening at its old cost) and swap a cached state back instead of
+    re-preprocessing.
+    """
+    return tuple(sorted(network.nodes())), tuple(sorted(network.edges()))
+
+
+def csr_content(csr: CSRGraph) -> tuple:
+    """The :func:`network_content` signature of a compiled CSR snapshot."""
+    node_ids = csr.node_ids
+    return tuple(node_ids), tuple(
+        sorted(
+            (node_ids[u], node_ids[csr.indices[e]], csr.weights[e])
+            for u in range(csr.num_nodes)
+            for e in range(csr.indptr[u], csr.indptr[u + 1])
+        )
+    )
+
+
+def install_routing_data(network: RoadNetwork, data: RoutingData) -> None:
+    """Re-register ``data`` as current for ``network``.
+
+    Only valid when ``data`` was built from a network state whose edge
+    content equals the current one (snapshot swap): the fingerprint is
+    refreshed to the network's current mutation counter so staleness checks
+    clear, and the shared cache serves ``data`` to every later oracle.
+    """
+    data.fingerprint = network_fingerprint(network)
+    _ROUTING_DATA[network] = data
+
+
+def repair_routing_data(
+    network: RoadNetwork,
+    data: RoutingData,
+    mutated_edges,
+    *,
+    max_fraction: float = 1.0,
+) -> tuple[RoutingData, CHRepairStats] | None:
+    """Derive a repaired :class:`RoutingData` for ``network`` from ``data``.
+
+    Compiles a fresh CSR and asks the held contraction hierarchy to
+    re-contract only the nodes affected by ``mutated_edges`` (see
+    :meth:`ContractionHierarchy.repair`; the result is a copy-on-write fork,
+    so ``data`` stays valid for the pre-mutation network state).  Hub
+    labels, when previously extracted, are re-derived from the repaired
+    hierarchy.  The repaired data is installed in the shared cache and
+    returned with the repair statistics; ``None`` means the hierarchy could
+    not absorb the mutation set (no hierarchy built yet, node set changed,
+    or the affected set exceeds ``max_fraction``) and the caller must fall
+    back to a full rebuild.
+    """
+    if not data.has_hierarchy:
+        return None
+    csr = CSRGraph.from_network(network)
+    forked = data.hierarchy.repair(csr, mutated_edges, max_fraction=max_fraction)
+    if forked is None:
+        return None
+    hierarchy, stats = forked
+    repaired = RoutingData.__new__(RoutingData)
+    repaired.fingerprint = network_fingerprint(network)
+    repaired.csr = csr
+    repaired._hierarchy = hierarchy
+    repaired._labeling = (
+        HubLabeling(hierarchy) if data._labeling is not None else None
+    )
+    _ROUTING_DATA[network] = repaired
+    return repaired, stats
 
 
 # ---------------------------------------------------------------------- #

@@ -1,4 +1,4 @@
-"""Contraction Hierarchies (CH) preprocessor and bidirectional query.
+"""Contraction Hierarchies (CH) preprocessor, bidirectional query and repair.
 
 The preprocessor contracts nodes one by one in increasing "importance",
 inserting *shortcut* edges that preserve shortest-path distances among the
@@ -38,18 +38,56 @@ weight arrays (plus per-node tuple views for the interactive query loops)
 replace the build-time lists of lists, and all per-query state -- distances,
 parents, visited marks -- lives in persistent version-stamped flat arrays,
 so the per-settle stall check does list indexing only.
+
+Incremental repair (dynamic worlds)
+-----------------------------------
+
+:meth:`ContractionHierarchy.repair` follows a mutated graph without a full
+re-contraction.  The build records, per contracted node, its *effects* --
+the shortcuts it inserted, the overlay edges its witnesses reduced, and its
+contraction-time incident edges -- plus a *support index* mapping every node
+settled by one of its witness searches back to the contraction that ran
+them.  Because witness searches only relax out-edges of settled nodes, a
+contraction's decisions can only change when (a) its own incident edges
+changed, or (b) an out-edge of one of its recorded witness nodes changed.
+Repair therefore replays the frozen contraction order against the mutated
+graph: clean nodes re-apply their recorded effects verbatim (dict writes,
+no searches), while *dirty* nodes -- seeded from the endpoints and support
+sets of the mutated edges, and cascaded through recorded-vs-recomputed
+effect diffs -- are re-contracted with fresh witness searches.  The result
+is a *forked* hierarchy whose per-node adjacencies are flattened back into
+CSR upward arrays; unchanged records are shared with the source hierarchy
+by reference, which keeps the source valid for the pre-mutation graph (so
+recent states can be cached and swapped back when a burst reverts).
+Reusing the frozen order can only cost hierarchy *quality* (a few extra
+shortcuts after many repairs), never correctness: replayed effects are
+re-validated against the replay overlay, so distances stay exact.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+from dataclasses import dataclass
 
 from .csr import CSRGraph
 
 #: Witness searches stop after settling this many nodes; a smaller limit
 #: speeds preprocessing up at the price of a few redundant shortcuts.
 DEFAULT_WITNESS_LIMIT = 80
+
+
+@dataclass(frozen=True)
+class CHRepairStats:
+    """What one :meth:`ContractionHierarchy.repair` call actually did."""
+
+    #: Nodes whose contraction was re-run with fresh witness searches.
+    nodes_recontracted: int
+    #: Overlay-edge effects (shortcut insertions / reductions) that differ
+    #: from the recorded build -- the size of the splice into the hierarchy.
+    shortcuts_replaced: int
+    #: ``nodes_recontracted / num_nodes`` (the repair locality measure).
+    affected_fraction: float
 
 
 class ContractionHierarchy:
@@ -76,6 +114,13 @@ class ContractionHierarchy:
         "_seen_f",
         "_seen_b",
         "_query_id",
+        "_contract_order",
+        "_stored_fwd",
+        "_stored_bwd",
+        "_added",
+        "_reduced",
+        "_witness_settled",
+        "_witness_dependents",
     )
 
     def __init__(self, csr: CSRGraph, *, witness_limit: int = DEFAULT_WITNESS_LIMIT) -> None:
@@ -109,6 +154,24 @@ class ContractionHierarchy:
         #: the label-extraction scans, where Python-level overhead amortises.
         self.fwd_view: list[tuple[tuple[int, float], ...]] = []
         self.bwd_view: list[tuple[tuple[int, float], ...]] = []
+        # --- repair-support records (see the module docstring) --------- #
+        #: Node indices in contraction order (``rank`` inverted).
+        self._contract_order: list[int] = []
+        #: Contraction-time incident overlay edges of every node -- the
+        #: authoritative per-node upward adjacency (flattened into the CSR
+        #: arrays / tuple views above) *and* the replay comparison anchor.
+        self._stored_fwd: list[dict[int, float]] = []
+        self._stored_bwd: list[dict[int, float]] = []
+        #: Per-node contraction effects: overlay assignments ``(u, x, w)``
+        #: (shortcuts bypassing the node) and overlay edges ``(u, x, w)``
+        #: its witnesses reduced (with the deleted weight, so a replay can
+        #: tell whether the reduction still applies), in application order.
+        self._added: list[list[tuple[int, int, float]]] = []
+        self._reduced: list[list[tuple[int, int, float]]] = []
+        #: Nodes settled by the node's witness searches, plus the inverted
+        #: support index ``settled node -> {contractions that searched it}``.
+        self._witness_settled: list[list[int]] = []
+        self._witness_dependents: list[set[int]] = []
         self._build()
         # Persistent query scratch: distances, parents and per-direction
         # version stamps indexed by dense node id.  An entry is valid only
@@ -126,26 +189,43 @@ class ContractionHierarchy:
     # ------------------------------------------------------------------ #
     # preprocessing
     # ------------------------------------------------------------------ #
-    def _build(self) -> None:
-        csr = self.csr
+    @staticmethod
+    def _overlay_from_csr(
+        csr: CSRGraph,
+    ) -> tuple[list[dict[int, float]], list[dict[int, float]]]:
+        """Dynamic overlay dicts of the not-yet-contracted graph.
+
+        Dicts keep the minimum weight per ``(u, v)`` pair when shortcuts
+        parallel real edges.  The scan order (ascending node index, CSR row
+        order within a node) is part of the repair contract: replaying a
+        build against an identically-scanned overlay reproduces dict
+        insertion order, so recorded effects splice back deterministically.
+        """
         n = csr.num_nodes
-        # Dynamic overlay of the not-yet-contracted graph.  Dicts keep the
-        # minimum weight per (u, v) pair when shortcuts parallel real edges.
         fwd: list[dict[int, float]] = [{} for _ in range(n)]
         bwd: list[dict[int, float]] = [{} for _ in range(n)]
         for u in range(n):
+            fwd_u = fwd[u]
             for v, w in csr.out_edges(u):
-                old = fwd[u].get(v)
+                old = fwd_u.get(v)
                 if old is None or w < old:
-                    fwd[u][v] = w
+                    fwd_u[v] = w
                     bwd[v][u] = w
+        return fwd, bwd
+
+    def _build(self) -> None:
+        csr = self.csr
+        n = csr.num_nodes
+        fwd, bwd = self._overlay_from_csr(csr)
         deleted_neighbors = [0] * n
         contracted = [False] * n
         dirty = [False] * n
-        # Per-node upward adjacency collected during contraction, flattened
-        # into the CSR-style arrays once the ordering is complete.
-        up_fwd: list[list[tuple[int, float]]] = [[] for _ in range(n)]
-        up_bwd: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        self._stored_fwd = [{} for _ in range(n)]
+        self._stored_bwd = [{} for _ in range(n)]
+        self._added = [[] for _ in range(n)]
+        self._reduced = [[] for _ in range(n)]
+        self._witness_settled = [[] for _ in range(n)]
+        self._witness_dependents = [set() for _ in range(n)]
 
         def estimate(v: int) -> int:
             """Edge-difference priority with a 1-hop witness *estimate*.
@@ -187,34 +267,52 @@ class ContractionHierarchy:
                     priority_of[v] = current
                     heapq.heappush(heap, (current, v))
                     continue
-            neighbors = [x for x in fwd[v]]
-            neighbors += [u for u in bwd[v] if u not in fwd[v]]
-            self._contract(v, fwd, bwd, contracted, deleted_neighbors, up_fwd, up_bwd)
+            added, reduced, witness, stored_fwd, stored_bwd = self._contract_node(
+                v, fwd, bwd, contracted, self.shortcut_middle
+            )
+            self._added[v] = added
+            self._reduced[v] = reduced
+            self._witness_settled[v] = witness_list = sorted(witness)
+            for y in witness_list:
+                self._witness_dependents[y].add(v)
+            self._stored_fwd[v] = stored_fwd
+            self._stored_bwd[v] = stored_bwd
+            self._contract_order.append(v)
             self.rank[v] = order
             order += 1
-            for x in neighbors:
+            for x in stored_fwd:
+                deleted_neighbors[x] += 1
                 dirty[x] = True
-        self._flatten(up_fwd, up_bwd)
+            for u in stored_bwd:
+                deleted_neighbors[u] += 1
+                dirty[u] = True
+        self.num_shortcuts = len(self.shortcut_middle)
+        self._flatten()
 
-    def _flatten(
-        self,
-        up_fwd: list[list[tuple[int, float]]],
-        up_bwd: list[list[tuple[int, float]]],
-    ) -> None:
-        """Compile the per-node upward lists into flat CSR-style arrays."""
-        for indptr, indices, weights, lists in (
-            (self.fwd_indptr, self.fwd_indices, self.fwd_weights, up_fwd),
-            (self.bwd_indptr, self.bwd_indices, self.bwd_weights, up_bwd),
-        ):
+    def _flatten(self) -> None:
+        """Compile the per-node adjacency dicts into flat CSR-style arrays."""
+        n = len(self._stored_fwd)
+        for direction, lists in (("fwd", self._stored_fwd), ("bwd", self._stored_bwd)):
+            indptr = [0] * (n + 1)
+            indices: list[int] = []
+            weights: list[float] = []
             cursor = 0
             for i, edges in enumerate(lists):
                 cursor += len(edges)
                 indptr[i + 1] = cursor
-                for other, weight in edges:
+                for other, weight in edges.items():
                     indices.append(other)
                     weights.append(weight)
-        self.fwd_view = [tuple(edges) for edges in up_fwd]
-        self.bwd_view = [tuple(edges) for edges in up_bwd]
+            if direction == "fwd":
+                self.fwd_indptr, self.fwd_indices, self.fwd_weights = (
+                    indptr, indices, weights,
+                )
+            else:
+                self.bwd_indptr, self.bwd_indices, self.bwd_weights = (
+                    indptr, indices, weights,
+                )
+        self.fwd_view = [tuple(edges.items()) for edges in self._stored_fwd]
+        self.bwd_view = [tuple(edges.items()) for edges in self._stored_bwd]
 
     def _needed_shortcuts(
         self,
@@ -224,13 +322,18 @@ class ContractionHierarchy:
         contracted: list[bool],
         *,
         reduce_edges: bool = False,
+        reduced_out: list[tuple[int, int, float]] | None = None,
+        witness_out: set[int] | None = None,
+        middle: dict[tuple[int, int], int] | None = None,
     ):
         """Yield ``(u, [(x, weight), ...])`` shortcut groups for contracting ``v``.
 
         With ``reduce_edges`` overlay edges ``u -> x`` that the witness
         search proves non-shortest are deleted on the fly (safe: a witnessed
         edge is not on any shortest path, so removing it keeps the overlay
-        distance-preserving).
+        distance-preserving).  ``reduced_out`` collects the deleted edges and
+        ``witness_out`` every node settled by the witness searches -- the
+        repair records.
         """
         out_edges = [(x, w) for x, w in fwd[v].items() if not contracted[x]]
         if not out_edges:
@@ -241,7 +344,7 @@ class ContractionHierarchy:
                 continue
             targets = {x: x != u for x, _ in out_edges}
             witness = self._witness_search(
-                u, v, w_in + max_out, fwd, contracted, targets
+                u, v, w_in + max_out, fwd, contracted, targets, record=witness_out
             )
             needed = []
             for x, w_out in out_edges:
@@ -259,7 +362,10 @@ class ContractionHierarchy:
                         # can be dropped without changing overlay distances.
                         del fwd[u][x]
                         del bwd[x][u]
-                        self.shortcut_middle.pop((u, x), None)
+                        if middle is not None:
+                            middle.pop((u, x), None)
+                        if reduced_out is not None:
+                            reduced_out.append((u, x, existing))
             if needed:
                 yield u, needed
 
@@ -271,6 +377,8 @@ class ContractionHierarchy:
         fwd: list[dict[int, float]],
         contracted: list[bool],
         targets: dict[int, bool] | None = None,
+        *,
+        record: set[int] | None = None,
     ) -> dict[int, float]:
         """Bounded Dijkstra from ``source`` in the overlay, avoiding ``skip``.
 
@@ -278,9 +386,14 @@ class ContractionHierarchy:
         (value ``True`` when relevant from this source); the search stops as
         soon as every relevant target is settled -- its distance is final by
         then -- instead of always running to the settle limit or cost cap.
+        ``record`` accumulates every settled node (the source included): the
+        search outcome depends only on out-edges of settled nodes, so this
+        set is exactly what the repair support index needs.
         """
         inf = math.inf
         dist = {source: 0.0}
+        if record is not None:
+            record.add(source)
         heap = [(0.0, source)]
         settled = 0
         limit = self._witness_limit
@@ -298,6 +411,8 @@ class ContractionHierarchy:
             if d > cap:
                 break
             settled += 1
+            if record is not None:
+                record.add(node)
             if targets is not None and node != source and targets.get(node, False):
                 remaining -= 1
                 if remaining == 0:
@@ -311,45 +426,266 @@ class ContractionHierarchy:
                     heapq.heappush(heap, (candidate, succ))
         return dist
 
-    def _contract(
+    def _contract_node(
         self,
         v: int,
         fwd: list[dict[int, float]],
         bwd: list[dict[int, float]],
         contracted: list[bool],
-        deleted_neighbors: list[int],
-        up_fwd: list[list[tuple[int, float]]],
-        up_bwd: list[list[tuple[int, float]]],
-    ) -> None:
-        # Materialise the needed shortcuts *before* removing v.  This always
-        # re-runs the witness searches against the *current* overlay: a
-        # witness observed earlier may have run through a since-contracted
-        # node whose own contraction shifted the shortcut burden onto ``v``,
-        # so shortcut decisions cannot be cached across contractions.
+        middle: dict[tuple[int, int], int],
+    ) -> tuple[
+        list[tuple[int, int, float]],
+        list[tuple[int, int, float]],
+        set[int],
+        dict[int, float],
+        dict[int, float],
+    ]:
+        """Contract ``v`` against the overlay and record its effects.
+
+        Materialises the needed shortcuts *before* removing ``v``.  This
+        always re-runs the witness searches against the *current* overlay: a
+        witness observed earlier may have run through a since-contracted
+        node whose own contraction shifted the shortcut burden onto ``v``,
+        so shortcut decisions cannot be cached across contractions.
+
+        Returns ``(added, reduced, witness, incident_fwd, incident_bwd)``:
+        the overlay assignments performed, the overlay edges reduced, every
+        witness-settled node, and ``v``'s contraction-time incident edges
+        (which become its upward adjacency: every surviving endpoint
+        outranks ``v`` by construction).
+        """
+        added: list[tuple[int, int, float]] = []
+        reduced: list[tuple[int, int]] = []
+        witness: set[int] = set()
         for u, needed in self._needed_shortcuts(
-            v, fwd, bwd, contracted, reduce_edges=True
+            v, fwd, bwd, contracted, reduce_edges=True,
+            reduced_out=reduced, witness_out=witness, middle=middle,
         ):
             for x, through in needed:
                 old = fwd[u].get(x)
                 if old is None or through < old:
                     fwd[u][x] = through
                     bwd[x][u] = through
-                    self.shortcut_middle[(u, x)] = v
-                    if old is None:
-                        self.num_shortcuts += 1
-        # The edges incident to v at contraction time become the upward
-        # adjacency of v: every surviving endpoint outranks v by construction.
-        up_fwd[v] = [(x, w) for x, w in fwd[v].items() if not contracted[x]]
-        up_bwd[v] = [(u, w) for u, w in bwd[v].items() if not contracted[u]]
+                    middle[(u, x)] = v
+                    added.append((u, x, through))
+        incident_fwd = {x: w for x, w in fwd[v].items() if not contracted[x]}
+        incident_bwd = {u: w for u, w in bwd[v].items() if not contracted[u]}
         for x in fwd[v]:
             bwd[x].pop(v, None)
-            deleted_neighbors[x] += 1
         for u in bwd[v]:
             fwd[u].pop(v, None)
-            deleted_neighbors[u] += 1
         fwd[v] = {}
         bwd[v] = {}
         contracted[v] = True
+        return added, reduced, witness, incident_fwd, incident_bwd
+
+    # ------------------------------------------------------------------ #
+    # incremental repair
+    # ------------------------------------------------------------------ #
+    def repair(
+        self,
+        csr: CSRGraph,
+        changed_edges,
+        *,
+        max_fraction: float = 1.0,
+    ) -> tuple["ContractionHierarchy", CHRepairStats] | None:
+        """Follow a mutated graph by re-contracting only the affected nodes.
+
+        ``csr`` is the freshly compiled CSR of the mutated network (same
+        node set as the current hierarchy) and ``changed_edges`` the
+        *complete* set of ``(u, v)`` node-id pairs whose base edges were
+        reweighted, removed or (re)added since this hierarchy was built.
+        The frozen contraction order is replayed against the new overlay:
+        nodes outside the dirty set re-apply their recorded effects, dirty
+        nodes re-run their witness searches, and effect diffs cascade
+        through the support index (see the module docstring).
+
+        Returns ``(repaired, stats)`` where ``repaired`` is a *new*
+        hierarchy sharing every unchanged per-node structure with this one
+        (copy-on-write: the fork costs O(nodes) outer lists plus the
+        re-contracted cells) -- this hierarchy stays valid for the
+        pre-mutation graph, which is what lets callers keep recent states
+        around and swap them back when a mutation burst reverts.  Returns
+        ``None`` when the repair is not applicable (node set changed) or the
+        affected set exceeds ``max_fraction`` of all nodes, in which case
+        the caller should fall back to a full rebuild.
+        """
+        old_csr = self.csr
+        if csr.node_ids != old_csr.node_ids:
+            return None
+        n = csr.num_nodes
+        limit = n if max_fraction >= 1.0 else max(int(n * max_fraction), 1)
+        deps = self._witness_dependents
+        rank = self.rank
+        index_of = csr.index_of
+        # Dirty-set seeding is direction- and rank-aware.  A weight
+        # *decrease* only shortens recorded witnesses, which keeps every
+        # recorded omission/reduction valid and merely leaves redundant
+        # shortcuts behind -- the endpoints re-contract (their incident
+        # weights changed) but no witness dependent does.  A weight
+        # *increase* (removal included) can invalidate witnesses that
+        # relaxed the edge, which requires the edge's head to have been
+        # uncontracted at search time: only dependents ranked below the head
+        # qualify.
+        old_weights = {
+            (u, old_csr.indices[e]): old_csr.weights[e]
+            for u in range(n)
+            for e in range(old_csr.indptr[u], old_csr.indptr[u + 1])
+        }
+        new_weights = {
+            (u, csr.indices[e]): csr.weights[e]
+            for u in range(n)
+            for e in range(csr.indptr[u], csr.indptr[u + 1])
+        }
+        inf = math.inf
+        dirty: set[int] = set()
+        for u_id, v_id in changed_edges:
+            a = index_of.get(u_id)
+            b = index_of.get(v_id)
+            if a is None or b is None:
+                return None
+            w_old = old_weights.get((a, b), inf)
+            w_new = new_weights.get((a, b), inf)
+            if w_new == w_old:
+                continue  # e.g. closed and reopened within one burst
+            dirty.add(a)
+            dirty.add(b)
+            if w_new > w_old:
+                rank_b = rank[b]
+                dirty.update(z for z in deps[a] if rank[z] < rank_b)
+        if len(dirty) > limit:
+            return None
+
+        # Copy-on-write stores: unchanged per-node records are shared with
+        # this hierarchy by reference (re-contraction replaces entries with
+        # fresh objects, never mutates shared ones), so the fork below is
+        # cheap and an aborted repair leaves nothing to undo.
+        added_store = list(self._added)
+        reduced_store = list(self._reduced)
+        fwd_store = list(self._stored_fwd)
+        bwd_store = list(self._stored_bwd)
+        witness_store = list(self._witness_settled)
+        deps_store = list(deps)
+        deps_touched = bytearray(n)
+
+        def dep_set(y: int) -> set[int]:
+            if not deps_touched[y]:
+                deps_store[y] = set(deps_store[y])
+                deps_touched[y] = 1
+            return deps_store[y]
+
+        fwd, bwd = self._overlay_from_csr(csr)
+        contracted = [False] * n
+        middle: dict[tuple[int, int], int] = {}
+        recontracted = 0
+        shortcuts_replaced = 0
+        for v in self._contract_order:
+            if v in dirty or fwd[v] != fwd_store[v] or bwd[v] != bwd_store[v]:
+                recontracted += 1
+                if recontracted > limit:
+                    return None
+                added, reduced, witness, sf, sb = self._contract_node(
+                    v, fwd, bwd, contracted, middle
+                )
+                # Cascade: every overlay edge whose effect differs from the
+                # recorded build can invalidate later witness decisions that
+                # relaxed it, i.e. the recorded dependents of its tail --
+                # with the same direction/rank pruning as the seeds: an edge
+                # that only got *cheaper* cannot break a recorded witness.
+                # (Endpoint incident-edge changes are caught by the replay
+                # comparison when their own turn comes.)
+                old_map = {(u, x): w for u, x, w in added_store[v]}
+                new_map = {(u, x): w for u, x, w in added}
+                old_red = {(u, x) for u, x, _ in reduced_store[v]}
+                new_red = {(u, x) for u, x, _ in reduced}
+                for u, x in old_map.keys() | new_map.keys() | (old_red ^ new_red):
+                    new_post = new_map.get((u, x))
+                    if new_post is None:
+                        new_post = fwd[u].get(x, inf)
+                    if (u, x) in old_map:
+                        old_post = old_map[(u, x)]
+                    elif (u, x) in old_red:
+                        old_post = inf
+                    else:
+                        old_post = None  # pre-contraction value unrecorded
+                    if new_post == old_post:
+                        continue
+                    shortcuts_replaced += 1
+                    if old_post is None or new_post > old_post:
+                        rank_x = rank[x]
+                        dirty.update(z for z in deps[u] if rank[z] < rank_x)
+                added_store[v] = added
+                reduced_store[v] = reduced
+                fwd_store[v] = sf
+                bwd_store[v] = sb
+                old_witness = set(witness_store[v])
+                witness_store[v] = sorted(witness)
+                for y in old_witness - witness:
+                    dep_set(y).discard(v)
+                for y in witness - old_witness:
+                    dep_set(y).add(v)
+            else:
+                # Clean replay: the node's incident edges match the recorded
+                # build and no witness support changed, so its recorded
+                # decisions are still valid -- apply them without searching.
+                # (Reductions and insertions never target the same pair
+                # within one contraction, so grouping reductions first
+                # reproduces the original interleaved end state.)  Both
+                # effects are *guarded* against an overlay that got cheaper
+                # than the recorded build (a decreased base edge whose
+                # dependents were deliberately not re-contracted): a
+                # recorded reduction only fires while the deleted weight
+                # still matches, and a recorded assignment never overwrites
+                # a smaller current value -- keeping the cheaper edge is
+                # always distance-preserving, and every node whose incident
+                # edges the divergence touches re-contracts at its own turn.
+                for u, x, w in reduced_store[v]:
+                    if fwd[u].get(x) == w:
+                        del fwd[u][x]
+                        del bwd[x][u]
+                        middle.pop((u, x), None)
+                for u, x, w in added_store[v]:
+                    cur = fwd[u].get(x)
+                    if cur is None or w <= cur:
+                        fwd[u][x] = w
+                        bwd[x][u] = w
+                        middle[(u, x)] = v
+                for x in fwd[v]:
+                    bwd[x].pop(v, None)
+                for u in bwd[v]:
+                    fwd[u].pop(v, None)
+                fwd[v] = {}
+                bwd[v] = {}
+                contracted[v] = True
+
+        fork = object.__new__(ContractionHierarchy)
+        fork.csr = csr
+        fork._witness_limit = self._witness_limit
+        # Frozen across repairs (the whole point of the replay): the rank
+        # permutation and contraction order are shared by reference.
+        fork.rank = self.rank
+        fork._contract_order = self._contract_order
+        fork.shortcut_middle = middle
+        fork.num_shortcuts = len(middle)
+        fork._added = added_store
+        fork._reduced = reduced_store
+        fork._stored_fwd = fwd_store
+        fork._stored_bwd = bwd_store
+        fork._witness_settled = witness_store
+        fork._witness_dependents = deps_store
+        fork._flatten()
+        fork._dist_f = [0.0] * n
+        fork._dist_b = [0.0] * n
+        fork._parent_f = [-1] * n
+        fork._parent_b = [-1] * n
+        fork._seen_f = [0] * n
+        fork._seen_b = [0] * n
+        fork._query_id = 0
+        return fork, CHRepairStats(
+            nodes_recontracted=recontracted,
+            shortcuts_replaced=shortcuts_replaced,
+            affected_fraction=recontracted / n if n else 0.0,
+        )
 
     # ------------------------------------------------------------------ #
     # queries
@@ -560,15 +896,19 @@ class ContractionHierarchy:
     def estimated_memory_bytes(self) -> int:
         """Rough footprint of the upward adjacencies (arrays + tuple views)."""
         entries = len(self.fwd_indices) + len(self.bwd_indices)
+        support = sum(len(s) for s in self._witness_settled)
         # The CSR arrays cost ~16 bytes per entry; the per-node tuple views
         # duplicate every entry as a 2-tuple (~72 bytes with the pair tuple)
-        # plus a tuple header per node.
+        # plus a tuple header per node.  The repair-support records keep the
+        # incident dicts, effect lists and witness sets (forward + inverted).
         return (
             88 * entries
             + 16 * (len(self.fwd_indptr) + len(self.bwd_indptr))
             + 56 * (len(self.fwd_view) + len(self.bwd_view))
             + 8 * len(self.rank)
             + 72 * len(self.shortcut_middle)
+            + 64 * entries  # stored incident dicts
+            + 2 * 64 * support  # witness records + inverted support index
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -31,10 +31,41 @@ from .routing.backends import (
     BACKEND_NAMES,
     GraphSearchBackend,
     HubLabelBackend,
+    csr_content,
+    install_routing_data,
     make_backend,
+    network_content,
     network_fingerprint,
+    repair_routing_data,
     routing_data,
 )
+
+#: Recent routing states the repair layer keeps for exact-reversion swaps.
+SNAPSHOT_CAPACITY = 4
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Outcome of one :meth:`DistanceOracle.repair` call.
+
+    ``mode`` tells what actually happened: ``"repaired"`` (incremental
+    re-contraction spliced into the held hierarchy), ``"snapshot"`` (the
+    mutated network matched a cached routing state, swapped in without any
+    preprocessing), ``"rebuilt"`` (the mutation set could not be absorbed
+    incrementally and a full rebuild ran instead) or ``"noop"`` (nothing was
+    stale).  The counters are only non-zero for ``"repaired"``.
+    """
+
+    mode: str
+    seconds: float = 0.0
+    nodes_recontracted: int = 0
+    shortcuts_replaced: int = 0
+    affected_fraction: float = 0.0
+
+    @property
+    def full_rebuild(self) -> bool:
+        """True when the repair fell back to a full rebuild."""
+        return self.mode == "rebuilt"
 
 
 @dataclass
@@ -129,6 +160,9 @@ class DistanceOracle:
         #: structures are dirty (``None`` outside scenario fallback windows).
         self._fallback: GraphSearchBackend | None = None
         self._fallback_data = None
+        #: Content-addressed LRU of recent routing states (see
+        #: :meth:`repair`): edge-content signature -> RoutingData.
+        self._snapshots: OrderedDict[tuple, object] = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # public API
@@ -172,17 +206,110 @@ class DistanceOracle:
         spent -- the scenario refresh policies account it as rebuild time.
         """
         start = time.perf_counter()
+        self._adopt_data(routing_data(self._network))
+        return time.perf_counter() - start
+
+    def repair(
+        self,
+        mutated_edges: Sequence[tuple[int, int]] | None = None,
+        *,
+        max_affected_fraction: float = 1.0,
+    ) -> RepairReport:
+        """Follow network mutations incrementally instead of rebuilding.
+
+        The repair layer tries, in order:
+
+        1. **Snapshot swap** -- the mutated network's edge content is looked
+           up in a small LRU of recent routing states (kept across repair
+           calls).  Exact reversions -- a traffic wave receding, a closed
+           road reopening at its recorded cost -- swap the cached CSR /
+           hierarchy / labels back in O(E log E) signature time, with zero
+           preprocessing.
+        2. **Incremental CH repair** -- the mutated edge set (``mutated_edges``
+           or, when ``None``, the network's own mutation journal since this
+           oracle's snapshot) seeds an affected node set that is re-contracted
+           in the frozen rank order and spliced into the held hierarchy (see
+           :meth:`ContractionHierarchy.repair`); hub labels, when extracted,
+           are re-derived from the repaired hierarchy.
+        3. **Full rebuild** -- when the journal does not cover the mutations,
+           the backend holds no hierarchy (``dijkstra``/``alt``), the node
+           set changed, or the affected set exceeds ``max_affected_fraction``
+           of all nodes.
+
+        Like :meth:`rebuild` this drops the pair cache and the Dijkstra
+        fallback, and the resulting state is installed in the shared
+        per-network cache (later oracles and rebuilds resolve to it).  The
+        pre-mutation state itself survives as a copy-on-write snapshot, so
+        repeated back-and-forth bursts (rush-hour waves rolling in and out)
+        settle into pure swaps.  Returns a :class:`RepairReport` describing
+        what happened.
+        """
+        start = time.perf_counter()
+        network = self._network
+        data = self._data
+        if self._fallback is None and not self.is_stale:
+            return RepairReport(mode="noop")
+        # 1. Exact-reversion lookup.  The pre-mutation state is recoverable
+        # from the held CSR (the network itself has already moved on), and
+        # is worth caching only when expensive preprocessing hangs off it.
+        now_key = network_content(network)
+        if data.has_hierarchy:
+            self._remember_snapshot(csr_content(data.csr), data)
+        hit = self._snapshots.get(now_key)
+        if hit is not None:
+            self._snapshots.move_to_end(now_key)
+            install_routing_data(network, hit)
+            self._adopt_data(hit)
+            return RepairReport(
+                mode="snapshot", seconds=time.perf_counter() - start
+            )
+        # 2. Incremental repair of the held hierarchy.  The repaired state
+        # is a copy-on-write fork, so ``data`` -- and its snapshot entry
+        # taken above -- stays valid for the pre-mutation network.
+        if mutated_edges is None:
+            mutated_edges = network.edge_mutations_since(data.fingerprint[2])
+        repaired = None
+        if mutated_edges is not None:
+            repaired = repair_routing_data(
+                network, data, mutated_edges, max_fraction=max_affected_fraction
+            )
+        if repaired is None:
+            # 3. Not absorbable: full rebuild; the fresh state is cached for
+            # future reversions.
+            self._adopt_data(routing_data(network))
+            self._remember_snapshot(now_key, self._data)
+            return RepairReport(
+                mode="rebuilt", seconds=time.perf_counter() - start
+            )
+        new_data, stats = repaired
+        self._adopt_data(new_data)
+        self._remember_snapshot(now_key, new_data)
+        return RepairReport(
+            mode="repaired",
+            seconds=time.perf_counter() - start,
+            nodes_recontracted=stats.nodes_recontracted,
+            shortcuts_replaced=stats.shortcuts_replaced,
+            affected_fraction=stats.affected_fraction,
+        )
+
+    def _adopt_data(self, data) -> None:
+        """Serve queries from ``data``: drop cache + fallback, rebind backend."""
         self._cache.clear()
         self._fallback = None
         self._fallback_data = None
-        self._data = routing_data(self._network)
+        self._data = data
         self._backend = make_backend(
             self._requested_backend,
-            self._data,
+            data,
             num_landmarks=self._num_landmarks,
             seed=self._seed,
         )
-        return time.perf_counter() - start
+
+    def _remember_snapshot(self, key: tuple, data) -> None:
+        self._snapshots[key] = data
+        self._snapshots.move_to_end(key)
+        while len(self._snapshots) > SNAPSHOT_CAPACITY:
+            self._snapshots.popitem(last=False)
 
     def enable_fallback(self) -> None:
         """Serve queries exactly via a fresh-CSR Dijkstra, deferring rebuild.
@@ -466,4 +593,4 @@ class DistanceOracle:
             self._cache_put((source, target), distance)
 
 
-__all__ = ["DistanceOracle", "QueryStatistics", "BACKEND_NAMES"]
+__all__ = ["DistanceOracle", "QueryStatistics", "RepairReport", "BACKEND_NAMES"]

@@ -8,10 +8,12 @@ shift starts and ends -- that a :class:`ScenarioTimeline` feeds into
 :class:`~repro.simulation.engine.Simulator` between dispatch batches.  An
 :class:`OracleRefreshPolicy` decides, per mutation burst, whether the
 preprocessed routing structures are rebuilt immediately (``eager``), served
-through an exact Dijkstra fallback under a staleness budget (``deferred``)
-or coalesced into one rebuild at the next quiet batch boundary
-(``coalesce``); the refresh overhead (rebuilds, fallback queries,
-stale-serving time) lands in the run metrics.
+through an exact Dijkstra fallback under a staleness budget (``deferred``),
+coalesced into one rebuild at the next quiet batch boundary (``coalesce``)
+or absorbed incrementally -- snapshot swaps for exact reversions plus
+re-contraction of only the affected hierarchy cells (``repair``); the
+refresh overhead (rebuilds, repairs, fallback queries, stale-serving time)
+lands in the run metrics.
 """
 
 from .events import (
@@ -42,6 +44,7 @@ from .refresh import (
     EagerRefreshPolicy,
     OracleRefreshPolicy,
     RefreshStats,
+    RepairRefreshPolicy,
     make_refresh_policy,
 )
 from .timeline import Scenario, ScenarioTimeline
@@ -64,6 +67,7 @@ __all__ = [
     "EagerRefreshPolicy",
     "DeferredRefreshPolicy",
     "CoalescingRefreshPolicy",
+    "RepairRefreshPolicy",
     "RefreshStats",
     "make_refresh_policy",
     "POLICY_NAMES",

@@ -58,6 +58,12 @@ class WorldView:
     metrics: Any
     #: ``record(kind, subject, other=None)`` -- event-log sink.
     record: Callable[..., None] = field(default=lambda *args, **kwargs: None)
+    #: Original costs a :class:`RestoreEdges` could not write back because
+    #: the edge was closed at restore time; the reopening applies them after
+    #: re-adding the edge, so interleaved waves and closures still leave the
+    #: shared network exactly as it started.  The simulator passes one dict
+    #: per run.
+    cost_restores: dict[tuple[int, int], float] = field(default_factory=dict)
 
 
 @dataclass
@@ -81,11 +87,19 @@ class WorldEvent:
 
 
 def _directed(edges: Sequence[tuple[int, int]], bidirectional: bool):
-    """Expand undirected pairs into the directed edges an event touches."""
+    """Expand undirected pairs into the directed edges an event touches.
+
+    Each directed pair is yielded at most once, however the caller listed
+    the edges -- ``[(u, v), (v, u)]`` with ``bidirectional=True`` must not
+    scale an edge twice (its paired restoration would then replay both
+    records in order and leave the second, scaled cost behind).
+    """
+    seen: set[tuple[int, int]] = set()
     for u, v in edges:
-        yield u, v
-        if bidirectional:
-            yield v, u
+        for pair in ((u, v), (v, u)) if bidirectional else ((u, v),):
+            if pair not in seen:
+                seen.add(pair)
+                yield pair
 
 
 @dataclass
@@ -147,6 +161,11 @@ class RestoreEdges(WorldEvent):
             if network.has_edge(u, v):
                 network.add_edge(u, v, cost)
                 mutations += 1
+            else:
+                # The edge is closed right now, so its closure recorded the
+                # *scaled* cost; park the original so the reopening restores
+                # free flow instead of baking the slowdown in.
+                world.cost_restores[(u, v)] = cost
         self.scaling.scaled = []
         if mutations:
             world.record(EDGES_RESCALED, mutations)
@@ -221,6 +240,9 @@ class ReopenEdges(WorldEvent):
         mutations = 0
         for u, v, cost in self.closure.closed:
             if not network.has_edge(u, v):
+                # A wave that receded while the edge was closed parked the
+                # pre-wave cost; it wins over the closure-time (scaled) one.
+                cost = world.cost_restores.pop((u, v), cost)
                 network.add_edge(u, v, cost)
                 mutations += 1
         self.closure.closed = []

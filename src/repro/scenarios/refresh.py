@@ -19,12 +19,23 @@ rebuild is a real scheduling decision.  Three policies are provided:
     Like ``deferred``, but the rebuild happens at the first batch boundary
     with no further events due -- consecutive bursts (a traffic wave
     rolling over adjacent zones) collapse into a single rebuild.
+``repair``
+    Repair instead of rebuilding: every burst is absorbed immediately via
+    :meth:`~repro.network.shortest_path.DistanceOracle.repair` -- a
+    content-addressed snapshot swap for exact reversions (waves receding,
+    roads reopening), incremental re-contraction of the affected cells of
+    the contraction hierarchy otherwise, and a full rebuild only when the
+    affected set exceeds ``max_affected_fraction`` of all nodes.  Queries
+    are never served stale and never fall back, like ``eager``, at a
+    fraction of the refresh cost.
 
 Every policy records its decisions in :class:`RefreshStats`; the simulator
 copies them into the run metrics (``oracle_rebuilds``,
 ``oracle_rebuild_seconds``, ``oracle_stale_seconds``,
-``oracle_fallback_queries``) so refresh overhead is a first-class
-experimental output.
+``oracle_fallback_queries``, plus the ``repair`` policy's
+``oracle_repairs`` / ``oracle_repair_seconds`` /
+``oracle_nodes_recontracted`` / ``oracle_shortcuts_replaced``) so refresh
+overhead is a first-class experimental output.
 """
 
 from __future__ import annotations
@@ -57,6 +68,16 @@ class RefreshStats:
     #: Wall-clock time between entering fallback mode and the rebuild that
     #: cleared it ("stale-serving time").
     stale_seconds: float = 0.0
+    #: Bursts absorbed without a full rebuild (incremental re-contraction
+    #: or snapshot swap) and their summed wall-clock cost.
+    repairs: int = 0
+    repair_seconds: float = 0.0
+    #: Of those, bursts answered by an exact-reversion snapshot swap.
+    snapshot_hits: int = 0
+    #: Hierarchy nodes re-contracted and overlay effects (shortcut
+    #: insertions / reductions) spliced across all incremental repairs.
+    nodes_recontracted: int = 0
+    shortcuts_replaced: int = 0
     _stale_since: float | None = field(default=None, repr=False)
 
     def mark_stale(self) -> None:
@@ -166,6 +187,54 @@ class DeferredRefreshPolicy(OracleRefreshPolicy):
         self._defer(oracle)
 
 
+class RepairRefreshPolicy(OracleRefreshPolicy):
+    """Absorb every burst immediately via incremental CH repair.
+
+    Behaves like ``eager`` from the queries' point of view -- never stale,
+    never on the fallback -- but pays per burst only for the affected cells
+    of the hierarchy (or an O(E log E) snapshot swap when the burst reverts
+    to a recently seen network state).  Bursts whose affected set exceeds
+    ``max_affected_fraction`` of all nodes fall back to a full rebuild,
+    recorded under the ordinary rebuild counters.
+    """
+
+    name = "repair"
+
+    def __init__(self, *, max_affected_fraction: float = 0.2) -> None:
+        super().__init__()
+        if not 0.0 < max_affected_fraction <= 1.0:
+            raise ConfigurationError(
+                "max_affected_fraction must be in (0, 1] "
+                f"(got {max_affected_fraction})"
+            )
+        self.max_affected_fraction = max_affected_fraction
+
+    def on_mutations(self, oracle: DistanceOracle, now: float, mutations: int) -> None:
+        self.stats.mutation_bursts += 1
+        self._repair(oracle)
+
+    def finalize(self, oracle: DistanceOracle) -> None:
+        if oracle.serving_fallback or oracle.is_stale:
+            self._repair(oracle)
+
+    def _repair(self, oracle: DistanceOracle) -> None:
+        report = oracle.repair(
+            max_affected_fraction=self.max_affected_fraction
+        )
+        stats = self.stats
+        if report.mode == "rebuilt":
+            stats.rebuilds += 1
+            stats.rebuild_seconds += report.seconds
+        elif report.mode != "noop":
+            stats.repairs += 1
+            stats.repair_seconds += report.seconds
+            stats.nodes_recontracted += report.nodes_recontracted
+            stats.shortcuts_replaced += report.shortcuts_replaced
+            if report.mode == "snapshot":
+                stats.snapshot_hits += 1
+        stats.clear_stale()
+
+
 class CoalescingRefreshPolicy(OracleRefreshPolicy):
     """One rebuild per quiet batch boundary, folding adjacent bursts."""
 
@@ -201,6 +270,12 @@ def make_refresh_policy(
         return DeferredRefreshPolicy()
     if key == "coalesce":
         return CoalescingRefreshPolicy()
+    if key == "repair":
+        if config is not None:
+            return RepairRefreshPolicy(
+                max_affected_fraction=config.repair_max_fraction
+            )
+        return RepairRefreshPolicy()
     raise ConfigurationError(
         f"unknown refresh policy {name!r}; choose from {POLICY_NAMES}"
     )

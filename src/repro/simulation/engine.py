@@ -82,7 +82,10 @@ class Simulator:
     #: Dynamic-world scenario: timed events applied at batch boundaries.
     timeline: ScenarioTimeline | None = None
     #: How the oracle follows network mutations; a policy name or instance
-    #: (defaults to ``coalesce`` whenever a timeline is present).
+    #: (defaults to ``coalesce`` whenever a timeline is present).  A bare
+    #: name uses that policy's *default* knobs -- to apply a
+    #: ``ScenarioConfig``'s staleness budgets / repair fraction cap, pass
+    #: ``make_refresh_policy(config=scenario.config)`` instead.
     refresh_policy: OracleRefreshPolicy | str | None = None
     _vehicle_index: GridIndex = field(init=False)
 
@@ -108,6 +111,10 @@ class Simulator:
 
         vehicles_by_id = {vehicle.vehicle_id: vehicle for vehicle in self.vehicles}
         self._refresh_vehicle_index()
+        # Original costs whose restoration found the edge closed; shared by
+        # every WorldView of this run so the reopening can apply them (see
+        # WorldView.cost_restores).
+        self._cost_restores: dict[tuple[int, int], float] = {}
 
         pending: dict[int, Request] = {}
         stream = BatchStream(self.requests, self.config.batch_period)
@@ -159,6 +166,11 @@ class Simulator:
             metrics.oracle_rebuilds = refresh.rebuilds
             metrics.oracle_rebuild_seconds = refresh.rebuild_seconds
             metrics.oracle_stale_seconds = refresh.stale_seconds
+            metrics.oracle_repairs = refresh.repairs
+            metrics.oracle_repair_seconds = refresh.repair_seconds
+            metrics.oracle_snapshot_hits = refresh.snapshot_hits
+            metrics.oracle_nodes_recontracted = refresh.nodes_recontracted
+            metrics.oracle_shortcuts_replaced = refresh.shortcuts_replaced
         metrics.wall_clock_seconds = time.perf_counter() - start_wall
         metrics.observe_memory(self._memory_estimate())
         # ``penalty`` has been accumulated as requests expired; recompute the
@@ -222,6 +234,7 @@ class Simulator:
             vehicle_index=self._vehicle_index,
             metrics=metrics,
             record=record,
+            cost_restores=self._cost_restores,
         )
         mutations = 0
         for event in due:
@@ -229,9 +242,12 @@ class Simulator:
             metrics.scenario_events += 1
         if mutations and policy is not None:
             rebuilds_before = policy.stats.rebuilds
+            repairs_before = policy.stats.repairs
             policy.on_mutations(self.oracle, now, mutations)
             if policy.stats.rebuilds > rebuilds_before:
                 record(EventKind.ORACLE_REBUILT.value, mutations)
+            if policy.stats.repairs > repairs_before:
+                record(EventKind.ORACLE_REPAIRED.value, mutations)
         timeline.notify(world)
 
     # ------------------------------------------------------------------ #

@@ -30,6 +30,7 @@ class EventKind(enum.Enum):
     VEHICLE_SHIFT_STARTED = "vehicle_shift_started"
     VEHICLE_SHIFT_ENDED = "vehicle_shift_ended"
     ORACLE_REBUILT = "oracle_rebuilt"
+    ORACLE_REPAIRED = "oracle_repaired"
 
 
 @dataclass(frozen=True)

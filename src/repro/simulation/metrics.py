@@ -74,6 +74,15 @@ class MetricsCollector:
     oracle_rebuild_seconds: float = 0.0
     oracle_fallback_queries: int = 0
     oracle_stale_seconds: float = 0.0
+    #: Incremental-repair accounting (``repair`` refresh policy): bursts
+    #: absorbed without a full rebuild (snapshot swaps included) with their
+    #: wall-clock cost, and the hierarchy work actually performed --
+    #: nodes re-contracted and overlay effects spliced.
+    oracle_repairs: int = 0
+    oracle_repair_seconds: float = 0.0
+    oracle_snapshot_hits: int = 0
+    oracle_nodes_recontracted: int = 0
+    oracle_shortcuts_replaced: int = 0
     peak_memory_bytes: int = 0
     num_batches: int = 0
     proposal_rounds: int = 0
@@ -123,6 +132,11 @@ class MetricsCollector:
             "oracle_rebuild_seconds": self.oracle_rebuild_seconds,
             "oracle_fallback_queries": float(self.oracle_fallback_queries),
             "oracle_stale_seconds": self.oracle_stale_seconds,
+            "oracle_repairs": float(self.oracle_repairs),
+            "oracle_repair_seconds": self.oracle_repair_seconds,
+            "oracle_snapshot_hits": float(self.oracle_snapshot_hits),
+            "oracle_nodes_recontracted": float(self.oracle_nodes_recontracted),
+            "oracle_shortcuts_replaced": float(self.oracle_shortcuts_replaced),
             "peak_memory_bytes": float(self.peak_memory_bytes),
             "num_batches": float(self.num_batches),
         }

@@ -1,0 +1,114 @@
+"""Tests for the CI benchmark-regression gate comparator.
+
+The gate itself runs in CI (``benchmarks/check_regression.py``); these
+tests pin the comparator semantics it is built on: parsing the benchmark's
+text table, thresholded before/after comparison, cross-machine
+normalisation and the failure modes (vanished backends, bad references).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.regression import (
+    compare_backend_tables,
+    format_markdown,
+    parse_backend_table,
+)
+
+SAMPLE_TABLE = """\
+Routing backend microbenchmark (NYC city at scale 0.7, 300 pairs x 3, cache off)
+backend       build ms  query us  queries/s  speedup  settled/q  max |err|
+dijkstra           0.8     191.0       5236     1.0x      162.1   0.00e+00
+alt                3.3      91.7      10903     2.1x       26.1   0.00e+00
+ch                59.9      66.3      15076     2.9x       48.5   8.53e-14
+hub_label        119.9       4.9     204564    39.1x       35.6   8.53e-14
+
+History (same machine, NYC scale 0.7):
+  PR 3: some prose that must not parse as a row 82.9 -> 67.6 us/query.
+"""
+
+
+def _table(**overrides) -> dict[str, float]:
+    table = {"dijkstra": 191.0, "alt": 91.7, "ch": 66.3, "hub_label": 4.9}
+    table.update(overrides)
+    return table
+
+
+class TestParsing:
+    def test_parses_backend_rows_only(self):
+        table = parse_backend_table(SAMPLE_TABLE)
+        assert table == {
+            "dijkstra": 191.0, "alt": 91.7, "ch": 66.3, "hub_label": 4.9,
+        }
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_backend_table("no rows here\njust prose\n")
+
+
+class TestComparison:
+    def test_identical_tables_pass(self):
+        deltas = compare_backend_tables(_table(), _table())
+        assert not any(d.regressed for d in deltas)
+
+    def test_synthetic_2x_slowdown_fails(self):
+        deltas = compare_backend_tables(_table(), _table(ch=132.6))
+        by_name = {d.backend: d for d in deltas}
+        assert by_name["ch"].regressed
+        assert by_name["ch"].delta == pytest.approx(1.0)
+        assert not by_name["hub_label"].regressed
+
+    def test_threshold_boundary(self):
+        just_under = compare_backend_tables(_table(), _table(ch=66.3 * 1.29))
+        just_over = compare_backend_tables(_table(), _table(ch=66.3 * 1.31))
+        assert not any(d.regressed for d in just_under)
+        assert any(d.regressed for d in just_over)
+
+    def test_normalisation_cancels_machine_speed(self):
+        """A uniformly 2x slower machine must pass under --normalize."""
+        slower = {name: us * 2.0 for name, us in _table().items()}
+        absolute = compare_backend_tables(_table(), slower)
+        assert all(d.regressed for d in absolute)
+        normalised = compare_backend_tables(
+            _table(), slower, normalize="dijkstra"
+        )
+        assert not any(d.regressed for d in normalised)
+
+    def test_normalisation_still_catches_relative_regression(self):
+        slower = {name: us * 2.0 for name, us in _table().items()}
+        slower["ch"] *= 2.0  # 4x total: 2x beyond the machine factor
+        deltas = compare_backend_tables(_table(), slower, normalize="dijkstra")
+        by_name = {d.backend: d for d in deltas}
+        assert by_name["ch"].regressed and not by_name["alt"].regressed
+
+    def test_vanished_backend_fails_loudly(self):
+        fresh = _table()
+        del fresh["ch"]
+        deltas = compare_backend_tables(_table(), fresh)
+        by_name = {d.backend: d for d in deltas}
+        assert by_name["ch"].regressed
+
+    def test_new_backend_in_fresh_table_is_ignored(self):
+        deltas = compare_backend_tables(_table(), _table(transit=1.0))
+        assert {d.backend for d in deltas} == set(_table())
+
+    def test_bad_normalize_reference_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_backend_tables(_table(), _table(), normalize="nope")
+        with pytest.raises(ConfigurationError):
+            compare_backend_tables(_table(), _table(), threshold=0.0)
+
+
+class TestReport:
+    def test_markdown_marks_regressions(self):
+        deltas = compare_backend_tables(_table(), _table(ch=200.0))
+        report = format_markdown(deltas)
+        assert "**REGRESSED**" in report and "Gate **failed**" in report
+        assert "ch" in report
+
+    def test_markdown_reports_pass(self):
+        deltas = compare_backend_tables(_table(), _table())
+        report = format_markdown(deltas, normalize="dijkstra")
+        assert "Gate passed" in report and "dijkstra" in report

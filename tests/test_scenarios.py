@@ -26,6 +26,7 @@ from repro.scenarios import (
     CancelRequests,
     CloseEdges,
     ReopenEdges,
+    RestoreEdges,
     ScaleEdges,
     ScenarioTimeline,
     VehicleShiftEnd,
@@ -101,6 +102,38 @@ class TestWorldEvents:
         ReopenEdges(9.0, closure).apply(world)
         for e, cost in costs.items():
             assert city.edge_cost(*e) == pytest.approx(cost)
+
+    def test_duplicate_directed_pairs_scale_once_and_round_trip(self, city):
+        """Listing both (u, v) and (v, u) with bidirectional=True must not
+        scale an edge twice -- and its restoration must round-trip."""
+        u, v = next((u, v) for u, v, _ in city.edges())
+        original_uv = city.edge_cost(u, v)
+        original_vu = city.edge_cost(v, u)
+        scale = ScaleEdges(1.0, [(u, v), (v, u)], 2.0, bidirectional=True)
+        world = _world(city)
+        scale.apply(world)
+        assert city.edge_cost(u, v) == 2.0 * original_uv
+        assert city.edge_cost(v, u) == 2.0 * original_vu
+        RestoreEdges(2.0, scale).apply(world)
+        assert city.edge_cost(u, v) == original_uv
+        assert city.edge_cost(v, u) == original_vu
+
+    def test_wave_interleaved_with_closure_round_trips(self, city):
+        """A wave that recedes while its edges are closed must not bake the
+        slowdown into the reopening: the parked original cost wins over the
+        closure-time (scaled) one, so the shared network round-trips."""
+        u, v = next((u, v) for u, v, _ in city.edges())
+        original = city.edge_cost(u, v)
+        scale = ScaleEdges(1.0, [(u, v)], 2.0, bidirectional=False)
+        close = CloseEdges(2.0, [(u, v)], bidirectional=False)
+        world = _world(city)
+        scale.apply(world)
+        close.apply(world)
+        RestoreEdges(3.0, scale).apply(world)  # edge closed: restoration parks
+        assert world.cost_restores == {(u, v): original}
+        ReopenEdges(4.0, close).apply(world)
+        assert city.edge_cost(u, v) == original
+        assert world.cost_restores == {}
 
     def test_closure_skips_edges_that_would_dead_end(self, city):
         # Close everything around node 0 -- the guard must leave the node
@@ -249,6 +282,80 @@ class TestRefreshPolicies:
         with pytest.raises(ConfigurationError):
             make_refresh_policy("sometimes")
 
+    def test_repair_absorbs_burst_without_rebuild(self, city):
+        policy = make_refresh_policy("repair")
+        oracle = self._mutated(city)
+        policy.on_mutations(oracle, 10.0, 1)
+        assert policy.stats.repairs == 1 and policy.stats.rebuilds == 0
+        assert not oracle.is_stale and not oracle.serving_fallback
+        assert policy.stats.nodes_recontracted > 0
+
+    def test_repair_repeated_bursts_on_same_edges(self, city):
+        """Bursts that keep toggling the same edges settle into snapshot
+        swaps: after the first up/down cycle both network states are cached
+        and no further re-contraction happens."""
+        policy = make_refresh_policy("repair")
+        oracle = DistanceOracle(city, backend="ch")
+        oracle.cost(0, 7)
+        u, v, cost = next(iter(city.edges()))
+        reference_costs = {}
+        for round_no in range(3):
+            for factor in (2.0, 1.0):
+                city.add_edge(u, v, cost * factor)
+                policy.on_mutations(oracle, 10.0 * round_no, 1)
+                assert not oracle.is_stale
+                got = oracle.cost(u, v)
+                want = DistanceOracle(city, cache_size=0).cost(u, v)
+                assert got == pytest.approx(want, abs=1e-9)
+                key = factor
+                reference_costs.setdefault(key, got)
+                assert got == reference_costs[key]
+        assert policy.stats.repairs == 6 and policy.stats.rebuilds == 0
+        assert policy.stats.snapshot_hits >= 4
+
+    def test_repair_close_then_reopen_before_any_query(self, city):
+        """A burst that closes and reopens an edge before any query leaves
+        the content unchanged: the repair recognises the reversion without
+        re-contracting anything."""
+        policy = make_refresh_policy("repair")
+        oracle = DistanceOracle(city, backend="ch")
+        oracle.cost(0, 7)
+        u, v, cost = next(iter(city.edges()))
+        city.remove_edge(u, v)
+        city.add_edge(u, v, cost)
+        assert oracle.is_stale
+        policy.on_mutations(oracle, 10.0, 2)
+        assert not oracle.is_stale
+        assert policy.stats.repairs == 1
+        assert policy.stats.nodes_recontracted == 0
+        assert policy.stats.snapshot_hits == 1
+        assert oracle.cost(u, v) == pytest.approx(
+            DistanceOracle(city, cache_size=0).cost(u, v), abs=1e-9
+        )
+
+    def test_repair_falls_back_beyond_fraction_cap(self, city):
+        """A burst whose affected set exceeds the configurable fraction cap
+        is absorbed by a full rebuild instead."""
+        policy = make_refresh_policy(
+            "repair", config=ScenarioConfig(
+                refresh_policy="repair", repair_max_fraction=0.01,
+            )
+        )
+        oracle = DistanceOracle(city, backend="ch")
+        oracle.cost(0, 7)
+        for u, v, cost in list(city.edges())[:20]:
+            city.add_edge(u, v, cost * 3.0)
+        policy.on_mutations(oracle, 10.0, 20)
+        assert policy.stats.rebuilds == 1 and policy.stats.repairs == 0
+        assert not oracle.is_stale
+
+    def test_repair_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_refresh_policy(
+                "repair",
+                config=ScenarioConfig(refresh_policy="repair", repair_max_fraction=0.0),
+            )
+
 
 class TestSurgeModulation:
     def _generator(self, city, num_requests=400, seed=5):
@@ -355,7 +462,7 @@ class TestSimulatorIntegration:
         return simulator.run()
 
     @pytest.mark.parametrize("backend", ("ch", "hub_label"))
-    @pytest.mark.parametrize("policy", ("eager", "deferred", "coalesce"))
+    @pytest.mark.parametrize("policy", ("eager", "deferred", "coalesce", "repair"))
     def test_bridge_closure_parity_and_no_closed_edges(self, backend, policy):
         """Acceptance: after every event the oracle matches a fresh Dijkstra
         and no returned path crosses a closed (absent) edge."""
@@ -381,8 +488,19 @@ class TestSimulatorIntegration:
         result = self._run("bridge_closure", backend, policy, on_applied=probe)
         assert checks["bursts"] == 2  # closure + reopening
         assert result.metrics.scenario_events == 2
-        assert result.metrics.oracle_rebuilds >= 1
-        if policy != "eager":
+        if policy == "repair":
+            # Every burst is absorbed immediately -- incrementally, via a
+            # snapshot swap, or (past the fraction cap at this tiny city
+            # scale) a rebuild -- so queries never run stale or fall back.
+            assert result.metrics.oracle_repairs >= 1
+            assert (
+                result.metrics.oracle_repairs + result.metrics.oracle_rebuilds == 2
+            )
+            assert result.metrics.oracle_fallback_queries == 0
+            assert result.metrics.oracle_stale_seconds == 0.0
+        else:
+            assert result.metrics.oracle_rebuilds >= 1
+        if policy in ("deferred", "coalesce"):
             assert result.metrics.oracle_fallback_queries > 0
             assert result.metrics.oracle_stale_seconds > 0.0
 
