@@ -31,8 +31,10 @@ Quick start::
 """
 
 from .config import (
+    ChaosConfig,
     DemandSurge,
     ExperimentConfig,
+    ResilienceConfig,
     ScenarioConfig,
     SimulationConfig,
     WorkloadConfig,
@@ -42,8 +44,12 @@ from .exceptions import (
     ConfigurationError,
     DispatchError,
     InfeasibleInsertionError,
+    InjectedFaultError,
     NetworkError,
+    OracleBuildError,
+    OracleRepairError,
     ReproError,
+    ResilienceError,
     ScenarioError,
     ScheduleError,
     UnreachableError,
@@ -102,11 +108,22 @@ from .dispatch import (
 from .simulation import MetricsCollector, SimulationResult, Simulator, unified_cost
 from .workloads import Workload, make_workload
 from .scenarios import (
+    CHAOS_PRESETS,
     Scenario,
     ScenarioTimeline,
+    make_chaos_config,
     make_refresh_policy,
     make_scenario,
     make_scenario_workload,
+)
+from .resilience import (
+    BreakerState,
+    ChaosOracle,
+    CircuitBreaker,
+    FaultInjector,
+    InvariantProbe,
+    ResilienceManager,
+    RetryPolicy,
 )
 from .experiments import ExperimentRunner, ResultRow, SweepResult
 
@@ -119,6 +136,8 @@ __all__ = [
     "WorkloadConfig",
     "ExperimentConfig",
     "ScenarioConfig",
+    "ChaosConfig",
+    "ResilienceConfig",
     "DemandSurge",
     # exceptions
     "ReproError",
@@ -131,6 +150,10 @@ __all__ = [
     "InfeasibleInsertionError",
     "DispatchError",
     "WorkloadError",
+    "ResilienceError",
+    "OracleBuildError",
+    "OracleRepairError",
+    "InjectedFaultError",
     # network substrate
     "RoadNetwork",
     "DistanceOracle",
@@ -192,6 +215,16 @@ __all__ = [
     "make_scenario",
     "make_scenario_workload",
     "make_refresh_policy",
+    "CHAOS_PRESETS",
+    "make_chaos_config",
+    # resilience
+    "ResilienceManager",
+    "FaultInjector",
+    "ChaosOracle",
+    "CircuitBreaker",
+    "BreakerState",
+    "InvariantProbe",
+    "RetryPolicy",
     # experiments
     "ExperimentRunner",
     "SweepResult",

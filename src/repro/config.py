@@ -341,6 +341,154 @@ class ScenarioConfig:
         return replace(self, **overrides)
 
 
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-operation fault rates driving the seeded fault injector.
+
+    All rates are probabilities in ``[0, 1]`` evaluated independently per
+    operation from RNG streams derived from ``seed``, so the same config
+    produces the same fault sequence on every run (the chaos determinism
+    contract).  A config with every rate at zero injects nothing --
+    :attr:`enabled` is then false and the chaos oracle behaves exactly like
+    a plain :class:`~repro.network.shortest_path.DistanceOracle`.
+    """
+
+    #: Seed of the injector's RNG streams (faults and latency spikes draw
+    #: from separate streams so enabling spikes never shifts fault draws).
+    seed: int = 17
+    #: Probability that one backend rebuild raises before doing any work.
+    rebuild_failure_rate: float = 0.0
+    #: Probability that one incremental repair raises before doing any work.
+    repair_failure_rate: float = 0.0
+    #: Probability that a *successful* rebuild/repair/snapshot swap leaves
+    #: the oracle silently corrupted (queries scaled by
+    #: ``corruption_factor`` until a probe-triggered heal).
+    corruption_rate: float = 0.0
+    #: Multiplier applied to corrupted query results; must be positive and
+    #: different from 1 so the corruption is parity-detectable.
+    corruption_factor: float = 1.07
+    #: Probability that one oracle query incurs a latency spike.
+    query_spike_rate: float = 0.0
+    #: Virtual seconds one latency spike charges to the batch time budget
+    #: (charged, never slept, so chaos runs stay fast and deterministic).
+    spike_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in (
+            "rebuild_failure_rate", "repair_failure_rate", "corruption_rate",
+            "corruption_factor", "query_spike_rate", "spike_seconds",
+        ):
+            _require_finite(name, getattr(self, name))
+        for name in ("rebuild_failure_rate", "repair_failure_rate",
+                     "corruption_rate", "query_spike_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1] (got {value})")
+        if self.corruption_factor <= 0 or self.corruption_factor == 1.0:
+            raise ConfigurationError(
+                "corruption_factor must be positive and != 1 "
+                f"(got {self.corruption_factor}); a factor of 1 would make "
+                "corruption undetectable by parity probes"
+            )
+        if self.spike_seconds < 0:
+            raise ConfigurationError("spike_seconds must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one fault rate is positive."""
+        return (
+            self.rebuild_failure_rate > 0
+            or self.repair_failure_rate > 0
+            or self.corruption_rate > 0
+            or self.query_spike_rate > 0
+        )
+
+    def with_overrides(self, **overrides: Any) -> "ChaosConfig":
+        """Return a copy of this configuration with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs of the retry/backoff, circuit-breaker and probe machinery.
+
+    The defaults are conservative: retries with exponential backoff on
+    refresh failures, breakers that trip after two consecutive failures and
+    probe for recovery two batches later, no batch time budget (the
+    dispatcher never degrades) and no invariant probes.  Chaos harnesses
+    turn the budget and probes on explicitly.
+    """
+
+    #: Total attempts (first try + retries) per rebuild/repair.
+    max_attempts: int = 3
+    #: First backoff pause in (virtual) seconds.
+    backoff_base: float = 0.05
+    #: Multiplier applied to the pause after every failed attempt.
+    backoff_multiplier: float = 2.0
+    #: Relative jitter applied to each pause: the pause is scaled by a
+    #: factor drawn uniformly from ``[1 - jitter, 1 + jitter]``.
+    backoff_jitter: float = 0.25
+    #: Deadline budget in seconds (real operation time + virtual backoff)
+    #: after which retrying stops even if attempts remain.
+    retry_deadline: float = 30.0
+    #: Consecutive failures that trip a breaker open.
+    breaker_threshold: int = 2
+    #: Batches a tripped breaker stays open before a half-open recovery probe.
+    recovery_interval: int = 2
+    #: Per-batch dispatch time budget in seconds; overrunning it counts a
+    #: breaker failure and eventually degrades the dispatcher.  ``None``
+    #: disables the budget entirely.
+    batch_time_budget: float | None = None
+    #: Charge real dispatch wall-clock against the budget.  Chaos harnesses
+    #: set this to False so breaker decisions depend only on injected
+    #: (virtual) latency and stay reproducible across machines.
+    count_real_dispatch_time: bool = True
+    #: Random oracle-vs-Dijkstra cost probes per batch (0 disables probing).
+    probe_pairs: int = 0
+    #: Seed of the probe pair sampler and the backoff jitter stream.
+    probe_seed: int = 23
+    #: Self-healing rebuild attempts before probing falls back to the exact
+    #: fresh-CSR Dijkstra rung.
+    max_heal_attempts: int = 2
+    #: Re-check every accepted assignment's leg costs against a fresh
+    #: Dijkstra oracle after each dispatch (the chaos acceptance gate;
+    #: expensive, so off by default).
+    verify_assignments: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("backoff_base", "backoff_multiplier", "backoff_jitter",
+                     "retry_deadline"):
+            _require_finite(name, getattr(self, name))
+        if self.batch_time_budget is not None:
+            _require_finite("batch_time_budget", self.batch_time_budget)
+            if self.batch_time_budget <= 0:
+                raise ConfigurationError(
+                    "batch_time_budget must be positive or None to disable"
+                )
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be at least 1")
+        if self.backoff_base < 0:
+            raise ConfigurationError("backoff_base must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError("backoff_multiplier must be at least 1")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ConfigurationError("backoff_jitter must be in [0, 1]")
+        if self.retry_deadline <= 0:
+            raise ConfigurationError("retry_deadline must be positive")
+        if self.breaker_threshold < 1:
+            raise ConfigurationError("breaker_threshold must be at least 1")
+        if self.recovery_interval < 1:
+            raise ConfigurationError("recovery_interval must be at least 1")
+        if self.probe_pairs < 0:
+            raise ConfigurationError("probe_pairs must be non-negative")
+        if self.max_heal_attempts < 1:
+            raise ConfigurationError("max_heal_attempts must be at least 1")
+
+    def with_overrides(self, **overrides: Any) -> "ResilienceConfig":
+        """Return a copy of this configuration with the given fields replaced."""
+        return replace(self, **overrides)
+
+
 @dataclass
 class ExperimentConfig:
     """One experiment = a workload, a simulation config and algorithm names."""

@@ -46,3 +46,31 @@ class DispatchError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised when a workload generator cannot satisfy the requested shape."""
+
+
+class ResilienceError(ReproError):
+    """Raised when the resilience layer cannot keep a run serviceable.
+
+    This is the terminal error of the degradation ladder: every rung below
+    it (retry, eager rebuild, exact Dijkstra fallback, self-healing probe
+    rebuild) has been exhausted and the oracle still cannot serve exact
+    costs.
+    """
+
+
+class OracleBuildError(ResilienceError):
+    """Raised when an oracle rebuild keeps failing after retry is exhausted."""
+
+
+class OracleRepairError(ResilienceError):
+    """Raised when an incremental repair keeps failing after retry is exhausted."""
+
+
+class InjectedFaultError(ReproError):
+    """Raised by the fault injector to simulate a backend build/repair crash.
+
+    Deliberately *not* a :class:`ResilienceError`: injected faults model the
+    transient failures the retry/degradation machinery is supposed to absorb,
+    so they must be caught by the same handlers that catch real backend
+    errors, not by handlers watching for resilience exhaustion.
+    """

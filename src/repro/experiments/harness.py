@@ -16,12 +16,13 @@ import random
 from dataclasses import dataclass, field
 from collections.abc import Iterable, Sequence
 
-from ..config import ScenarioConfig, SimulationConfig
+from ..config import ChaosConfig, ResilienceConfig, ScenarioConfig, SimulationConfig
 from ..dispatch import make_dispatcher
 from ..dispatch.base import Dispatcher
 from ..exceptions import ConfigurationError, ScenarioError
 from ..network.shortest_path import DistanceOracle
-from ..scenarios.presets import make_scenario_workload
+from ..resilience.degrade import ResilienceManager
+from ..scenarios.presets import make_chaos_config, make_scenario_workload
 from ..scenarios.refresh import make_refresh_policy
 from ..scenarios.timeline import Scenario
 from ..simulation.engine import SimulationResult, Simulator
@@ -436,3 +437,127 @@ def run_scenario_grid(
         for backend in backends
         for policy in policies
     ]
+
+
+# ---------------------------------------------------------------------- #
+# chaos grid (resilience layer under fault injection)
+# ---------------------------------------------------------------------- #
+#: Resilience knobs the chaos grid runs under.  The batch budget is charged
+#: with *virtual* injected latency only (``count_real_dispatch_time=False``)
+#: so breaker decisions -- and therefore the whole run -- are independent of
+#: the host's wall clock; every accepted assignment is re-verified against
+#: fresh Dijkstra.
+CHAOS_RESILIENCE = ResilienceConfig(
+    batch_time_budget=0.05,
+    count_real_dispatch_time=False,
+    probe_pairs=4,
+    verify_assignments=True,
+    breaker_threshold=2,
+    recovery_interval=2,
+)
+
+
+def run_chaos_case(
+    scenario: str,
+    backend: str,
+    policy: str,
+    *,
+    chaos: str | ChaosConfig = "flaky_oracle",
+    preset: str = "nyc",
+    algorithm: str = "pruneGDP",
+    scale: float = 0.08,
+    city_scale: float = 0.4,
+    resilience: ResilienceConfig | None = None,
+    scenario_config: ScenarioConfig | None = None,
+) -> dict:
+    """Run one (scenario, backend, refresh-policy) cell under fault injection.
+
+    The run is wrapped in a :class:`~repro.resilience.degrade.ResilienceManager`
+    with the ``chaos`` preset's fault rates; it must complete without an
+    unhandled exception and -- because ``verify_assignments`` is on -- with
+    every accepted assignment's leg costs exact against fresh Dijkstra.
+    Returns a flat row with the resilience counters next to the dispatch
+    metrics.  Deterministic: two calls with identical arguments inject the
+    identical fault sequence and produce identical non-timing metrics (see
+    :func:`deterministic_summary`).
+    """
+    chaos_config = make_chaos_config(chaos) if isinstance(chaos, str) else chaos
+    manager = ResilienceManager(
+        config=resilience if resilience is not None else CHAOS_RESILIENCE,
+        chaos=chaos_config,
+    )
+    workload, built = make_scenario_workload(
+        preset,
+        scenario,
+        scale=scale,
+        city_scale=city_scale,
+        scenario_config=scenario_config,
+        simulation_overrides={"routing_backend": backend},
+    )
+    simulator = Simulator(
+        network=workload.network,
+        oracle=manager.make_oracle(workload.network, backend=backend),
+        vehicles=workload.fresh_vehicles(),
+        requests=list(workload.requests),
+        dispatcher=make_dispatcher(algorithm),
+        config=workload.simulation_config,
+        record_events=False,
+        timeline=built.make_timeline(),
+        refresh_policy=make_refresh_policy(policy, config=built.config),
+        resilience=manager,
+    )
+    metrics = simulator.run().metrics
+    return {
+        "scenario": scenario,
+        "backend": backend,
+        "policy": policy,
+        "events": metrics.scenario_events,
+        "faults": metrics.faults_injected,
+        "retries": metrics.oracle_retries,
+        "breaker_trips": metrics.breaker_trips,
+        "degraded": metrics.degraded_batches,
+        "overruns": metrics.batch_overruns,
+        "probe_failures": metrics.probe_failures,
+        "self_heals": metrics.self_heals,
+        "recovery_ms": metrics.recovery_seconds * 1e3,
+        "rebuilds": metrics.oracle_rebuilds,
+        "repairs": metrics.oracle_repairs,
+        "fallback_q": metrics.oracle_fallback_queries,
+        "service_rate": metrics.service_rate,
+        "unified_cost": metrics.unified_cost,
+        "dispatch_s": metrics.dispatch_seconds,
+    }
+
+
+def run_chaos_grid(
+    scenarios: Sequence[str],
+    backends: Sequence[str],
+    policies: Sequence[str],
+    **case_kwargs,
+) -> list[dict]:
+    """Sweep the scenario x backend x refresh-policy product under chaos.
+
+    One code path behind ``benchmarks/bench_chaos.py`` and the CI
+    chaos-smoke job; keyword arguments are forwarded to
+    :func:`run_chaos_case`.
+    """
+    return [
+        run_chaos_case(scenario, backend, policy, **case_kwargs)
+        for scenario in scenarios
+        for backend in backends
+        for policy in policies
+    ]
+
+
+def deterministic_summary(row: dict) -> dict:
+    """Strip the timing-dependent columns from a chaos (or scenario) row.
+
+    What remains must be bit-identical across two same-seed runs -- the
+    reproducibility contract the chaos tests and the CI job assert.
+    """
+    timing = {"dispatch_s", "wall_clock_s"}
+    return {
+        key: value
+        for key, value in row.items()
+        if key not in timing and not key.endswith("_ms")
+    }

@@ -57,11 +57,17 @@ def network_fingerprint(network: RoadNetwork) -> tuple[int, int, int]:
 class RoutingData:
     """Lazily-built routing structures shared by every oracle on one network."""
 
-    __slots__ = ("fingerprint", "csr", "_hierarchy", "_labeling", "__weakref__")
+    __slots__ = (
+        "fingerprint", "csr", "record_repair_support",
+        "_hierarchy", "_labeling", "__weakref__",
+    )
 
-    def __init__(self, network: RoadNetwork) -> None:
+    def __init__(
+        self, network: RoadNetwork, *, record_repair_support: bool = True
+    ) -> None:
         self.fingerprint = network_fingerprint(network)
         self.csr = CSRGraph.from_network(network)
+        self.record_repair_support = record_repair_support
         self._hierarchy: ContractionHierarchy | None = None
         self._labeling: HubLabeling | None = None
 
@@ -74,7 +80,9 @@ class RoutingData:
     def hierarchy(self) -> ContractionHierarchy:
         """The contraction hierarchy (built on first access)."""
         if self._hierarchy is None:
-            self._hierarchy = ContractionHierarchy(self.csr)
+            self._hierarchy = ContractionHierarchy(
+                self.csr, record_repair_support=self.record_repair_support
+            )
         return self._hierarchy
 
     @property
@@ -90,11 +98,19 @@ _ROUTING_DATA: "weakref.WeakKeyDictionary[RoadNetwork, RoutingData]" = (
 )
 
 
-def routing_data(network: RoadNetwork) -> RoutingData:
-    """Shared :class:`RoutingData` for ``network`` (rebuilt when it changed)."""
+def routing_data(
+    network: RoadNetwork, *, record_repair_support: bool = True
+) -> RoutingData:
+    """Shared :class:`RoutingData` for ``network`` (rebuilt when it changed).
+
+    ``record_repair_support`` only takes effect when this call *builds* the
+    data (first oracle over the network, or the network mutated): structures
+    are shared per network, so a cached state is served as-is whatever flag
+    it was built with.
+    """
     data = _ROUTING_DATA.get(network)
     if data is None or data.fingerprint != network_fingerprint(network):
-        data = RoutingData(network)
+        data = RoutingData(network, record_repair_support=record_repair_support)
         _ROUTING_DATA[network] = data
     return data
 
@@ -169,6 +185,7 @@ def repair_routing_data(
     repaired = RoutingData.__new__(RoutingData)
     repaired.fingerprint = network_fingerprint(network)
     repaired.csr = csr
+    repaired.record_repair_support = data.record_repair_support
     repaired._hierarchy = hierarchy
     repaired._labeling = (
         HubLabeling(hierarchy) if data._labeling is not None else None

@@ -132,6 +132,13 @@ class DistanceOracle:
         value upgrades the ``dijkstra`` backend to ``alt``.
     seed:
         Seed for the landmark selection.
+    record_repair_support:
+        Record the witness-support index the incremental CH repair layer
+        needs (adds ~6% build time and the support-index memory).  Static
+        experiments that never mutate the network can pass ``False``;
+        :meth:`repair` then always falls back to a full rebuild.  The
+        preprocessed structures are shared per network, so the flag only
+        takes effect for the oracle that builds them first.
     """
 
     def __init__(
@@ -142,6 +149,7 @@ class DistanceOracle:
         num_landmarks: int = 0,
         seed: int = 13,
         backend: str = "dijkstra",
+        record_repair_support: bool = True,
     ) -> None:
         if cache_size < 0:
             raise NetworkError("cache_size must be non-negative")
@@ -152,7 +160,10 @@ class DistanceOracle:
         self._requested_backend = backend
         self._num_landmarks = num_landmarks
         self._seed = seed
-        self._data = routing_data(network)
+        self._record_repair_support = record_repair_support
+        self._data = routing_data(
+            network, record_repair_support=record_repair_support
+        )
         self._backend = make_backend(
             backend, self._data, num_landmarks=num_landmarks, seed=seed
         )
@@ -204,9 +215,19 @@ class DistanceOracle:
         eagerly by the backend constructor so the rebuild cost is paid here,
         not smeared over the next queries) and returns the wall-clock seconds
         spent -- the scenario refresh policies account it as rebuild time.
+
+        Exception-safe: the new structures (and the backend over them) are
+        fully constructed before any held state is dropped, so a build that
+        raises partway leaves the oracle serving its previous structures
+        unchanged -- the caller may retry or enter the fallback.
         """
         start = time.perf_counter()
-        self._adopt_data(routing_data(self._network))
+        self._adopt_data(
+            routing_data(
+                self._network,
+                record_repair_support=self._record_repair_support,
+            )
+        )
         return time.perf_counter() - start
 
     def repair(
@@ -276,7 +297,11 @@ class DistanceOracle:
         if repaired is None:
             # 3. Not absorbable: full rebuild; the fresh state is cached for
             # future reversions.
-            self._adopt_data(routing_data(network))
+            self._adopt_data(
+                routing_data(
+                    network, record_repair_support=self._record_repair_support
+                )
+            )
             self._remember_snapshot(now_key, self._data)
             return RepairReport(
                 mode="rebuilt", seconds=time.perf_counter() - start
@@ -293,17 +318,24 @@ class DistanceOracle:
         )
 
     def _adopt_data(self, data) -> None:
-        """Serve queries from ``data``: drop cache + fallback, rebind backend."""
-        self._cache.clear()
-        self._fallback = None
-        self._fallback_data = None
-        self._data = data
-        self._backend = make_backend(
+        """Serve queries from ``data``: drop cache + fallback, rebind backend.
+
+        The backend is constructed *before* any held state is dropped: a
+        build that raises partway (out of memory, an injected fault) must
+        leave the oracle consistent on its previous structures, never
+        half-initialised with a cleared cache and no backend.
+        """
+        backend = make_backend(
             self._requested_backend,
             data,
             num_landmarks=self._num_landmarks,
             seed=self._seed,
         )
+        self._cache.clear()
+        self._fallback = None
+        self._fallback_data = None
+        self._data = data
+        self._backend = backend
 
     def _remember_snapshot(self, key: tuple, data) -> None:
         self._snapshots[key] = data
@@ -321,7 +353,9 @@ class DistanceOracle:
         are counted in ``stats.fallback_queries``.  A no-op when the current
         fallback already matches the network.
         """
-        data = routing_data(self._network)
+        data = routing_data(
+            self._network, record_repair_support=self._record_repair_support
+        )
         if self._fallback is not None and self._fallback_data is data:
             return
         self._cache.clear()

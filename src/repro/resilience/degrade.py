@@ -1,0 +1,510 @@
+"""Circuit breakers and the degradation ladder.
+
+The :class:`ResilienceManager` orchestrates two breakers:
+
+* **Oracle breaker** -- guards the refresh path.  Repeated repair failures
+  trip to an eager rebuild; a rebuild whose retry budget is exhausted counts
+  a breaker failure and drops the oracle onto its exact fresh-CSR Dijkstra
+  fallback (correctness is never traded away -- the fallback is exact, just
+  slower).  While the breaker is open, refresh requests short-circuit to the
+  fallback; after ``recovery_interval`` batches a half-open probe attempts
+  one full rebuild and closes the breaker on success.
+* **Dispatch breaker** -- guards the batch time budget.  A dispatch batch
+  whose charged time (injected virtual latency, plus real wall-clock when
+  configured) overruns the budget counts a failure; ``breaker_threshold``
+  consecutive overruns trip the breaker and subsequent batches run a
+  degraded dispatcher (greedy linear insertion, no clique enumeration)
+  until a half-open probe batch finishes inside the budget again.
+
+Sampled invariant probes (see :mod:`~repro.resilience.probes`) run before
+every dispatch: a mismatch against fresh Dijkstra triggers the self-healing
+rung (heal + rebuild, then the exact fallback as last resort), so dispatch
+always prices insertions on a probe-verified oracle.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import time
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from random import Random
+
+from ..config import ChaosConfig, ResilienceConfig
+from ..dispatch.base import Assignment, Dispatcher
+from ..dispatch.prunegdp import PruneGDPDispatcher
+from ..exceptions import (
+    ConfigurationError,
+    OracleBuildError,
+    OracleRepairError,
+    ReproError,
+    ResilienceError,
+)
+from ..network.road_network import RoadNetwork
+from ..network.shortest_path import DistanceOracle, RepairReport
+from .faults import ChaosOracle, FaultInjector
+from .probes import InvariantProbe
+from .retry import RetryPolicy
+
+#: Event-kind strings emitted through the recorder (they match the values of
+#: the corresponding :class:`repro.simulation.events.EventKind` members; the
+#: resilience layer deliberately does not import the simulation package).
+EVENT_FAULT_RETRY = "oracle_retry"
+EVENT_BREAKER_OPENED = "breaker_opened"
+EVENT_BREAKER_CLOSED = "breaker_closed"
+EVENT_DISPATCH_DEGRADED = "dispatch_degraded"
+EVENT_PROBE_FAILED = "probe_failed"
+EVENT_SELF_HEALED = "oracle_self_healed"
+
+#: ``subject`` values of breaker events: which breaker transitioned.
+ORACLE_BREAKER = 0
+DISPATCH_BREAKER = 1
+
+
+class BreakerState(enum.Enum):
+    """Classic circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with batch-granular recovery probing.
+
+    Time is measured in *batches*, not wall-clock: :meth:`tick` is called
+    once per batch while open and moves the breaker to half-open after
+    ``recovery_interval`` ticks.  A success in half-open closes it; a
+    failure re-opens it (counted as another trip).
+    """
+
+    def __init__(
+        self, *, failure_threshold: int = 2, recovery_interval: int = 2
+    ) -> None:
+        if failure_threshold < 1 or recovery_interval < 1:
+            raise ConfigurationError(
+                "failure_threshold and recovery_interval must be at least 1"
+            )
+        self.failure_threshold = failure_threshold
+        self.recovery_interval = recovery_interval
+        self.state = BreakerState.CLOSED
+        self.trips = 0
+        self._consecutive_failures = 0
+        self._cooldown = 0
+
+    def record_failure(self) -> bool:
+        """Count one failure; returns True when this failure opens the breaker."""
+        self._consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN or (
+            self.state is BreakerState.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self.state = BreakerState.OPEN
+            self._cooldown = self.recovery_interval
+            self.trips += 1
+            return True
+        return False
+
+    def record_success(self) -> bool:
+        """Count one success; returns True when it closed an open breaker."""
+        self._consecutive_failures = 0
+        if self.state is not BreakerState.CLOSED:
+            self.state = BreakerState.CLOSED
+            return True
+        return False
+
+    def tick(self) -> bool:
+        """Advance one batch while open; True when now half-open (probe due)."""
+        if self.state is not BreakerState.OPEN:
+            return False
+        self._cooldown -= 1
+        if self._cooldown <= 0:
+            self.state = BreakerState.HALF_OPEN
+            return True
+        return False
+
+
+@dataclass
+class ResilienceStats:
+    """Counters the manager accumulates over one run."""
+
+    retries: int = 0
+    degraded_batches: int = 0
+    batch_overruns: int = 0
+    probe_failures: int = 0
+    self_heals: int = 0
+    fallback_activations: int = 0
+    #: Wall-clock seconds spent inside failure handling: retry backoff
+    #: excluded (virtual), rebuild-after-failure, healing and recovery
+    #: probes included -- the "recovery latency" the benchmarks report.
+    recovery_seconds: float = 0.0
+    #: Per-heal recovery latencies (probe failure detected -> exact again).
+    heal_seconds: list[float] = field(default_factory=list)
+
+
+class ResilienceManager:
+    """Threads fault injection, retries, breakers and probes through a run.
+
+    The manager is engine-agnostic: it never imports the simulator.  The
+    simulator attaches an event recorder via :meth:`begin_run` and calls the
+    hook methods from its batch loop; the refresh policies route their
+    rebuild/repair calls through :meth:`guarded_rebuild` /
+    :meth:`guarded_repair` when a manager is attached to them.
+    """
+
+    def __init__(
+        self,
+        *,
+        config: ResilienceConfig | None = None,
+        chaos: ChaosConfig | None = None,
+        degraded_dispatcher: Dispatcher | None = None,
+    ) -> None:
+        self.config = config if config is not None else ResilienceConfig()
+        self.chaos = chaos
+        self.injector = FaultInjector(chaos) if chaos is not None else None
+        self.retry = RetryPolicy(
+            max_attempts=self.config.max_attempts,
+            base_delay=self.config.backoff_base,
+            multiplier=self.config.backoff_multiplier,
+            jitter=self.config.backoff_jitter,
+            deadline=self.config.retry_deadline,
+        )
+        #: The degraded rung of the dispatcher ladder: greedy linear
+        #: insertion over few candidates, batch semantics (unassigned
+        #: requests stay pending instead of being rejected outright).
+        self.degraded_dispatcher = (
+            degraded_dispatcher
+            if degraded_dispatcher is not None
+            else PruneGDPDispatcher(max_candidates=8, reject_unassigned=False)
+        )
+        self.probe = InvariantProbe(
+            pairs=self.config.probe_pairs, seed=self.config.probe_seed
+        )
+        self.oracle_breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            recovery_interval=self.config.recovery_interval,
+        )
+        self.dispatch_breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            recovery_interval=self.config.recovery_interval,
+        )
+        self.stats = ResilienceStats()
+        self._jitter_rng = Random(f"{self.config.probe_seed}:jitter")
+        self._recorder: Callable[[float, str, int, int | None], None] | None = None
+        self._now = 0.0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def make_oracle(self, network: RoadNetwork, **kwargs) -> DistanceOracle:
+        """A chaos oracle when fault injection is configured, plain otherwise."""
+        if self.injector is None:
+            return DistanceOracle(network, **kwargs)
+        return ChaosOracle(network, injector=self.injector, **kwargs)
+
+    def begin_run(
+        self,
+        recorder: Callable[[float, str, int, int | None], None] | None = None,
+    ) -> None:
+        """Reset all per-run state (the simulator calls this at run start)."""
+        self.stats = ResilienceStats()
+        if self.injector is not None:
+            self.injector.reset()
+        self.probe.reset()
+        self.degraded_dispatcher.reset()
+        self.oracle_breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            recovery_interval=self.config.recovery_interval,
+        )
+        self.dispatch_breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            recovery_interval=self.config.recovery_interval,
+        )
+        self._jitter_rng = Random(f"{self.config.probe_seed}:jitter")
+        self._recorder = recorder
+        self._now = 0.0
+
+    @property
+    def faults_injected(self) -> int:
+        """Total faults injected so far (0 without a fault injector)."""
+        return self.injector.faults_injected if self.injector is not None else 0
+
+    @property
+    def breaker_trips(self) -> int:
+        """Trips across both breakers (the metrics counter)."""
+        return self.oracle_breaker.trips + self.dispatch_breaker.trips
+
+    def _emit(self, kind: str, subject: int, other: int | None = None) -> None:
+        if self._recorder is not None:
+            self._recorder(self._now, kind, subject, other)
+
+    def _on_oracle_retry(self, attempt: int, pause: float, error: ReproError) -> None:
+        self.stats.retries += 1
+        self._emit(EVENT_FAULT_RETRY, attempt)
+
+    # ------------------------------------------------------------------ #
+    # oracle ladder (called by the refresh policies)
+    # ------------------------------------------------------------------ #
+    def guarded_rebuild(self, oracle: DistanceOracle) -> tuple[float, bool]:
+        """Rebuild with retry; on exhaustion drop to the exact fallback.
+
+        Returns ``(seconds_spent, success)``.  On failure the oracle serves
+        its fresh-CSR Dijkstra fallback (exact, so correctness holds while
+        the breaker waits for a recovery probe).  While the breaker is open
+        the rebuild is not even attempted -- the fallback is refreshed and
+        the recovery probe in :meth:`before_dispatch` owns the retry.
+        """
+        breaker = self.oracle_breaker
+        start = time.perf_counter()
+        if breaker.state is BreakerState.OPEN:
+            oracle.enable_fallback()
+            self.stats.fallback_activations += 1
+            return time.perf_counter() - start, False
+        try:
+            _, outcome = self.retry.call(
+                oracle.rebuild,
+                rng=self._jitter_rng,
+                error_type=OracleBuildError,
+                describe="oracle rebuild",
+                on_retry=self._on_oracle_retry,
+            )
+        except OracleBuildError:
+            if breaker.record_failure():
+                self._emit(EVENT_BREAKER_OPENED, ORACLE_BREAKER)
+            oracle.enable_fallback()
+            self.stats.fallback_activations += 1
+            elapsed = time.perf_counter() - start
+            self.stats.recovery_seconds += elapsed
+            return elapsed, False
+        if breaker.record_success():
+            self._emit(EVENT_BREAKER_CLOSED, ORACLE_BREAKER)
+        return outcome.seconds, True
+
+    def guarded_repair(
+        self, oracle: DistanceOracle, *, max_affected_fraction: float = 1.0
+    ) -> RepairReport:
+        """Repair with retry; exhaustion climbs the ladder to a rebuild.
+
+        Returns the backend's :class:`RepairReport` on success.  When the
+        retry budget is exhausted the ladder trips to an eager rebuild
+        (itself guarded), reported as mode ``"rebuilt"`` -- or
+        ``"fallback"`` when the rebuild failed too and the oracle is serving
+        its exact Dijkstra fallback.
+        """
+        breaker = self.oracle_breaker
+        start = time.perf_counter()
+        if breaker.state is BreakerState.OPEN:
+            oracle.enable_fallback()
+            self.stats.fallback_activations += 1
+            return RepairReport(
+                mode="fallback", seconds=time.perf_counter() - start
+            )
+        try:
+            report, _ = self.retry.call(
+                lambda: oracle.repair(max_affected_fraction=max_affected_fraction),
+                rng=self._jitter_rng,
+                error_type=OracleRepairError,
+                describe="oracle repair",
+                on_retry=self._on_oracle_retry,
+            )
+        except OracleRepairError:
+            repair_elapsed = time.perf_counter() - start
+            self.stats.recovery_seconds += repair_elapsed
+            seconds, rebuilt = self.guarded_rebuild(oracle)
+            return RepairReport(
+                mode="rebuilt" if rebuilt else "fallback",
+                seconds=repair_elapsed + seconds,
+            )
+        if breaker.record_success():
+            self._emit(EVENT_BREAKER_CLOSED, ORACLE_BREAKER)
+        return report
+
+    # ------------------------------------------------------------------ #
+    # batch hooks (called by the simulator)
+    # ------------------------------------------------------------------ #
+    def before_dispatch(
+        self, network: RoadNetwork, oracle: DistanceOracle, now: float
+    ) -> None:
+        """Oracle-breaker recovery probe + invariant probes, pre-dispatch.
+
+        Runs after the scenario step (mutations + refresh) and before the
+        batch is dispatched, so every dispatch prices insertions on a
+        probe-verified oracle -- the ordering that makes accepted
+        assignments parity-exact under injected corruption.
+        """
+        self._now = now
+        breaker = self.oracle_breaker
+        if breaker.state is BreakerState.OPEN and breaker.tick():
+            self._attempt_oracle_recovery(oracle)
+        self._run_probes(network, oracle)
+
+    def _attempt_oracle_recovery(self, oracle: DistanceOracle) -> None:
+        """Half-open probe: one unretried rebuild decides open vs closed."""
+        start = time.perf_counter()
+        try:
+            oracle.rebuild()
+        except ReproError:
+            if self.oracle_breaker.record_failure():
+                self._emit(EVENT_BREAKER_OPENED, ORACLE_BREAKER)
+            oracle.enable_fallback()
+            self.stats.fallback_activations += 1
+        else:
+            if self.oracle_breaker.record_success():
+                self._emit(EVENT_BREAKER_CLOSED, ORACLE_BREAKER)
+        self.stats.recovery_seconds += time.perf_counter() - start
+
+    def _run_probes(self, network: RoadNetwork, oracle: DistanceOracle) -> None:
+        """Invariant probes; mismatches trigger the self-healing rung."""
+        if self.config.probe_pairs <= 0:
+            return
+        failures = self.probe.check(network, oracle)
+        if not failures:
+            return
+        self.stats.probe_failures += len(failures)
+        self._emit(EVENT_PROBE_FAILED, len(failures))
+        start = time.perf_counter()
+        healed = False
+        for _ in range(self.config.max_heal_attempts):
+            if isinstance(oracle, ChaosOracle):
+                oracle.heal()
+            self.guarded_rebuild(oracle)
+            self.stats.self_heals += 1
+            self._emit(EVENT_SELF_HEALED, len(failures))
+            failures = self.probe.check(network, oracle)
+            if not failures:
+                healed = True
+                break
+            self.stats.probe_failures += len(failures)
+            self._emit(EVENT_PROBE_FAILED, len(failures))
+        if not healed:
+            # Last rung: exact fresh-CSR Dijkstra with corruption cleared.
+            if isinstance(oracle, ChaosOracle):
+                oracle.heal()
+            oracle.enable_fallback()
+            self.stats.fallback_activations += 1
+            failures = self.probe.check(network, oracle)
+            if failures:
+                worst = failures[0]
+                raise ResilienceError(
+                    "invariant probes still failing after self-healing and "
+                    f"exact fallback: cost({worst.source}, {worst.target}) = "
+                    f"{worst.got} but fresh Dijkstra says {worst.want}"
+                )
+        elapsed = time.perf_counter() - start
+        self.stats.recovery_seconds += elapsed
+        self.stats.heal_seconds.append(elapsed)
+
+    def select_dispatcher(self, primary: Dispatcher) -> tuple[Dispatcher, bool]:
+        """The dispatcher for this batch and whether it is the degraded one.
+
+        Half-open probe batches run the primary dispatcher again; the
+        following :meth:`observe_batch` decides whether the breaker closes
+        (within budget) or re-opens.
+        """
+        if self.config.batch_time_budget is None:
+            return primary, False
+        breaker = self.dispatch_breaker
+        if breaker.state is BreakerState.OPEN:
+            if breaker.tick():
+                return primary, False
+            return self.degraded_dispatcher, True
+        return primary, False
+
+    def start_batch(self) -> None:
+        """Discard virtual latency accrued outside dispatch (probes, advance)."""
+        if self.injector is not None:
+            self.injector.drain_latency()
+
+    def observe_batch(
+        self, dispatch_seconds: float, *, degraded: bool, now: float
+    ) -> tuple[float, bool]:
+        """Charge one dispatched batch against the time budget.
+
+        Returns ``(charged_seconds, overrun)`` where the charge is the
+        injected virtual latency drained from the injector plus -- when
+        ``count_real_dispatch_time`` is set -- the real dispatch wall-clock.
+        """
+        self._now = now
+        injected = (
+            self.injector.drain_latency() if self.injector is not None else 0.0
+        )
+        charged = injected
+        if self.config.count_real_dispatch_time:
+            charged += dispatch_seconds
+        if degraded:
+            self.stats.degraded_batches += 1
+            self._emit(EVENT_DISPATCH_DEGRADED, DISPATCH_BREAKER)
+            return charged, False
+        budget = self.config.batch_time_budget
+        if budget is None:
+            return charged, False
+        overrun = charged > budget
+        breaker = self.dispatch_breaker
+        if overrun:
+            self.stats.batch_overruns += 1
+            if breaker.record_failure():
+                self._emit(EVENT_BREAKER_OPENED, DISPATCH_BREAKER)
+        elif breaker.record_success():
+            self._emit(EVENT_BREAKER_CLOSED, DISPATCH_BREAKER)
+        return charged, overrun
+
+    def finalize(
+        self, network: RoadNetwork, oracle: DistanceOracle, now: float
+    ) -> None:
+        """Tail probes after the final refresh, before post-run advancing."""
+        self._now = now
+        self._run_probes(network, oracle)
+
+    # ------------------------------------------------------------------ #
+    # acceptance verification
+    # ------------------------------------------------------------------ #
+    def verify_assignments(
+        self,
+        network: RoadNetwork,
+        oracle: DistanceOracle,
+        assignments: Sequence[Assignment],
+        vehicles_by_id: Mapping[int, object] | None = None,
+        *,
+        tolerance: float = 1e-6,
+    ) -> None:
+        """Check every accepted assignment's leg costs against fresh Dijkstra.
+
+        Verifies the invariant the resilience layer promises: whatever
+        faults were injected, the costs dispatch committed to are exact.
+        Raises :class:`ResilienceError` on any deviation.
+        """
+        if not assignments:
+            return
+        reference = DistanceOracle(network, cache_size=0, backend="dijkstra")
+        for assignment in assignments:
+            nodes = list(assignment.schedule.nodes())
+            if vehicles_by_id is not None:
+                vehicle = vehicles_by_id.get(assignment.vehicle_id)
+                if vehicle is not None:
+                    nodes = [vehicle.location, *nodes]
+            for u, v in zip(nodes, nodes[1:]):
+                if u == v:
+                    continue
+                got = oracle.cost(u, v)
+                want = reference.cost(u, v)
+                if math.isinf(got) and math.isinf(want):
+                    continue
+                if (
+                    math.isinf(got)
+                    or math.isinf(want)
+                    or abs(got - want) > tolerance * max(1.0, abs(want))
+                ):
+                    raise ResilienceError(
+                        f"accepted assignment for vehicle {assignment.vehicle_id} "
+                        f"priced leg ({u}, {v}) at {got} but fresh Dijkstra "
+                        f"says {want} -- the oracle served an inexact cost"
+                    )
+
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "ResilienceManager",
+    "ResilienceStats",
+]

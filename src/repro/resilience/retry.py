@@ -1,0 +1,121 @@
+"""Retry with exponential backoff, jitter and a deadline budget.
+
+Backoff pauses are *virtual*: they are drawn, recorded and charged against
+the deadline budget, but never slept.  Sleeping inside the simulator would
+slow chaos runs down for no benefit and -- worse -- couple breaker decisions
+to wall-clock scheduling noise; charging virtual seconds keeps retry
+behaviour reproducible from the RNG seed alone.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from random import Random
+from typing import Any, TypeVar
+
+from ..exceptions import ConfigurationError, ReproError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryOutcome:
+    """Accounting of one retried operation that eventually succeeded."""
+
+    #: Attempts performed (1 = first try succeeded).
+    attempts: int
+    #: Retries performed (``attempts - 1``).
+    retries: int
+    #: Total virtual backoff charged between attempts, in seconds.
+    backoff_seconds: float
+    #: Real operation time plus virtual backoff, in seconds.
+    seconds: float
+
+
+class RetryPolicy:
+    """Exponential backoff with jitter under a deadline budget.
+
+    Retries only on :class:`~repro.exceptions.ReproError` (injected faults
+    and library errors); anything else -- a genuine bug -- propagates
+    immediately.  When attempts or the deadline budget run out, the last
+    error is re-raised wrapped in the caller-provided typed error
+    (:class:`~repro.exceptions.OracleBuildError` /
+    :class:`~repro.exceptions.OracleRepairError`).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_attempts: int = 3,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        jitter: float = 0.25,
+        deadline: float = 30.0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ConfigurationError("max_attempts must be at least 1")
+        if base_delay < 0 or multiplier < 1.0 or deadline <= 0:
+            raise ConfigurationError(
+                "base_delay must be >= 0, multiplier >= 1 and deadline > 0"
+            )
+        if not 0.0 <= jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0, 1]")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self.deadline = deadline
+
+    def call(
+        self,
+        op: Callable[[], T],
+        *,
+        rng: Random,
+        error_type: type[ReproError],
+        describe: str,
+        on_retry: Callable[[int, float, ReproError], Any] | None = None,
+    ) -> tuple[T, RetryOutcome]:
+        """Run ``op`` until it succeeds, retry budget allowing.
+
+        ``on_retry(attempt, pause, error)`` fires before each retry (for
+        event recording).  Returns ``(result, outcome)`` on success; raises
+        ``error_type`` chained to the last failure when attempts or the
+        deadline budget are exhausted.
+        """
+        start = time.perf_counter()
+        backoff_total = 0.0
+        delay = self.base_delay
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                result = op()
+            except ReproError as error:
+                pause = delay
+                if self.jitter > 0:
+                    pause *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+                elapsed = time.perf_counter() - start + backoff_total
+                if attempt >= self.max_attempts:
+                    raise error_type(
+                        f"{describe} failed after {attempt} attempts: {error}"
+                    ) from error
+                if elapsed + pause > self.deadline:
+                    raise error_type(
+                        f"{describe} exceeded its {self.deadline:.3f}s deadline "
+                        f"budget after {attempt} attempts: {error}"
+                    ) from error
+                backoff_total += pause
+                if on_retry is not None:
+                    on_retry(attempt, pause, error)
+                delay *= self.multiplier
+            else:
+                return result, RetryOutcome(
+                    attempts=attempt,
+                    retries=attempt - 1,
+                    backoff_seconds=backoff_total,
+                    seconds=time.perf_counter() - start + backoff_total,
+                )
+        raise AssertionError("unreachable: the loop returns or raises")
+
+
+__all__ = ["RetryOutcome", "RetryPolicy"]

@@ -30,8 +30,10 @@ from .events import (
     traffic_wave,
 )
 from .presets import (
+    CHAOS_PRESETS,
     SCENARIO_PRESETS,
     corridor_edges,
+    make_chaos_config,
     make_scenario,
     make_scenario_workload,
     ring_edges,
@@ -72,6 +74,8 @@ __all__ = [
     "make_refresh_policy",
     "POLICY_NAMES",
     "SCENARIO_PRESETS",
+    "CHAOS_PRESETS",
+    "make_chaos_config",
     "make_scenario",
     "make_scenario_workload",
     "zone_edges",

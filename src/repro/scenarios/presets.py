@@ -28,7 +28,7 @@ import math
 import random
 from collections.abc import Callable
 
-from ..config import DemandSurge, ScenarioConfig
+from ..config import ChaosConfig, DemandSurge, ScenarioConfig
 from ..exceptions import ConfigurationError
 from ..network.road_network import RoadNetwork
 from ..network.shortest_path import DistanceOracle
@@ -276,6 +276,45 @@ def make_scenario(
     return SCENARIO_PRESETS[key](
         network, horizon, config or ScenarioConfig(), num_requests
     )
+
+
+#: Named fault-injection profiles for chaos runs (see
+#: :mod:`repro.resilience`).  ``flaky_oracle`` models an unreliable refresh
+#: path -- rebuilds and repairs fail often enough to exercise retries and
+#: the occasional breaker trip, refreshes sometimes corrupt the structures
+#: (caught by the invariant probes) and a few queries spike.
+#: ``oracle_meltdown`` is the worst-case drill: most refresh operations
+#: fail, corruption is frequent and query spikes are long enough to overrun
+#: the batch budget and degrade the dispatcher.
+CHAOS_PRESETS: dict[str, ChaosConfig] = {
+    "flaky_oracle": ChaosConfig(
+        rebuild_failure_rate=0.25,
+        repair_failure_rate=0.30,
+        corruption_rate=0.25,
+        corruption_factor=1.07,
+        query_spike_rate=0.01,
+        spike_seconds=0.05,
+    ),
+    "oracle_meltdown": ChaosConfig(
+        rebuild_failure_rate=0.55,
+        repair_failure_rate=0.85,
+        corruption_rate=0.75,
+        corruption_factor=1.25,
+        query_spike_rate=0.05,
+        spike_seconds=0.08,
+    ),
+}
+
+
+def make_chaos_config(name: str, **overrides) -> ChaosConfig:
+    """Look up a named chaos preset, optionally overriding its knobs."""
+    key = name.lower()
+    if key not in CHAOS_PRESETS:
+        raise ConfigurationError(
+            f"unknown chaos preset {name!r}; choose from {sorted(CHAOS_PRESETS)}"
+        )
+    config = CHAOS_PRESETS[key]
+    return config.with_overrides(**overrides) if overrides else config
 
 
 def make_scenario_workload(

@@ -104,12 +104,22 @@ class OracleRefreshPolicy:
     3. ``finalize(oracle)`` -- once, after the last batch, so the tail of
        the run (vehicles finishing their schedules) never sees a stale or
        fallback oracle.
+
+    When a :class:`~repro.resilience.degrade.ResilienceManager` is attached
+    (the simulator sets :attr:`resilience` at run start), every rebuild and
+    repair is routed through its guarded wrappers: failures are retried
+    with backoff and, once exhausted, degrade to the exact Dijkstra
+    fallback instead of propagating -- the policy then keeps the stale
+    clock running until a later refresh lands.
     """
 
     name = "base"
 
     def __init__(self) -> None:
         self.stats = RefreshStats()
+        #: Optional :class:`~repro.resilience.degrade.ResilienceManager`
+        #: guarding the refresh operations (``None`` = unguarded).
+        self.resilience = None
 
     # -- protocol ------------------------------------------------------- #
     def on_batch_start(
@@ -127,9 +137,22 @@ class OracleRefreshPolicy:
 
     # -- shared helpers ------------------------------------------------- #
     def _rebuild(self, oracle: DistanceOracle) -> None:
-        self.stats.rebuild_seconds += oracle.rebuild()
-        self.stats.rebuilds += 1
-        self.stats.clear_stale()
+        manager = self.resilience
+        if manager is None:
+            self.stats.rebuild_seconds += oracle.rebuild()
+            self.stats.rebuilds += 1
+            self.stats.clear_stale()
+            return
+        seconds, rebuilt = manager.guarded_rebuild(oracle)
+        self.stats.rebuild_seconds += seconds
+        if rebuilt:
+            self.stats.rebuilds += 1
+            self.stats.clear_stale()
+        else:
+            # Retry exhausted (or breaker open): the oracle serves its exact
+            # fresh-CSR fallback; the stale clock keeps running until the
+            # breaker's recovery probe lands a rebuild.
+            self.stats.mark_stale()
 
     def _defer(self, oracle: DistanceOracle) -> None:
         oracle.enable_fallback()
@@ -218,10 +241,22 @@ class RepairRefreshPolicy(OracleRefreshPolicy):
             self._repair(oracle)
 
     def _repair(self, oracle: DistanceOracle) -> None:
-        report = oracle.repair(
-            max_affected_fraction=self.max_affected_fraction
-        )
+        manager = self.resilience
+        if manager is None:
+            report = oracle.repair(
+                max_affected_fraction=self.max_affected_fraction
+            )
+        else:
+            report = manager.guarded_repair(
+                oracle, max_affected_fraction=self.max_affected_fraction
+            )
         stats = self.stats
+        if report.mode == "fallback":
+            # Resilience ladder exhausted repair *and* rebuild: the oracle
+            # serves its exact Dijkstra fallback until recovery.
+            stats.deferred_bursts += 1
+            stats.mark_stale()
+            return
         if report.mode == "rebuilt":
             stats.rebuilds += 1
             stats.rebuild_seconds += report.seconds

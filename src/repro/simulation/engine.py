@@ -31,6 +31,7 @@ from ..model.vehicle import Vehicle
 from ..network.grid_index import GridIndex
 from ..network.road_network import RoadNetwork
 from ..network.shortest_path import DistanceOracle
+from ..resilience.degrade import ResilienceManager
 from ..scenarios.events import WorldView
 from ..scenarios.refresh import OracleRefreshPolicy, make_refresh_policy
 from ..scenarios.timeline import ScenarioTimeline
@@ -87,6 +88,10 @@ class Simulator:
     #: ``ScenarioConfig``'s staleness budgets / repair fraction cap, pass
     #: ``make_refresh_policy(config=scenario.config)`` instead.
     refresh_policy: OracleRefreshPolicy | str | None = None
+    #: Resilience layer: retries, circuit breakers, invariant probes and
+    #: dispatcher degradation (see :mod:`repro.resilience`).  ``None`` runs
+    #: the classic unguarded pipeline.
+    resilience: ResilienceManager | None = None
     _vehicle_index: GridIndex = field(init=False)
 
     def __post_init__(self) -> None:
@@ -108,6 +113,18 @@ class Simulator:
         events = EventLog(max_events=200_000 if self.record_events else 0)
         self.dispatcher.reset()
         self.oracle.stats.reset()
+        resilience = self.resilience
+        if resilience is not None:
+
+            def _record_resilience(
+                now: float, kind: str, subject: int, other: int | None = None
+            ) -> None:
+                if self.record_events:
+                    events.record(Event(now, EventKind(kind), subject, other))
+
+            resilience.begin_run(recorder=_record_resilience)
+            if self.refresh_policy is not None:
+                self.refresh_policy.resilience = resilience
 
         vehicles_by_id = {vehicle.vehicle_id: vehicle for vehicle in self.vehicles}
         self._refresh_vehicle_index()
@@ -133,6 +150,20 @@ class Simulator:
             self._scenario_step(
                 batch.end_time, pending, vehicles_by_id, metrics, events
             )
+            if resilience is not None:
+                # Recovery probes + invariant probes run between the scenario
+                # step (the only place corruption can be injected) and the
+                # dispatch, so assignments are always priced on a
+                # probe-verified oracle.
+                resilience.before_dispatch(self.network, self.oracle, batch.end_time)
+                if (
+                    self.refresh_policy is not None
+                    and not self.oracle.serving_fallback
+                    and not self.oracle.is_stale
+                ):
+                    # A breaker recovery probe may have rebuilt the oracle
+                    # outside the refresh policy; stop its stale clock.
+                    self.refresh_policy.stats.clear_stale()
             if not pending:
                 continue
             record = self._dispatch_batch(
@@ -153,6 +184,8 @@ class Simulator:
             )
         if self.refresh_policy is not None:
             self.refresh_policy.finalize(self.oracle)
+        if resilience is not None:
+            resilience.finalize(self.network, self.oracle, last_time)
         self._advance_vehicles(math.inf, metrics, events)
         self._expire_pending(pending, math.inf, metrics, events)
         metrics.total_travel_time = sum(v.total_travel_time for v in self.vehicles)
@@ -171,6 +204,16 @@ class Simulator:
             metrics.oracle_snapshot_hits = refresh.snapshot_hits
             metrics.oracle_nodes_recontracted = refresh.nodes_recontracted
             metrics.oracle_shortcuts_replaced = refresh.shortcuts_replaced
+        if resilience is not None:
+            rstats = resilience.stats
+            metrics.faults_injected = resilience.faults_injected
+            metrics.oracle_retries = rstats.retries
+            metrics.breaker_trips = resilience.breaker_trips
+            metrics.degraded_batches = rstats.degraded_batches
+            metrics.batch_overruns = rstats.batch_overruns
+            metrics.probe_failures = rstats.probe_failures
+            metrics.self_heals = rstats.self_heals
+            metrics.recovery_seconds = rstats.recovery_seconds
         metrics.wall_clock_seconds = time.perf_counter() - start_wall
         metrics.observe_memory(self._memory_estimate())
         # ``penalty`` has been accumulated as requests expired; recompute the
@@ -261,6 +304,11 @@ class Simulator:
         metrics: MetricsCollector,
         events: EventLog,
     ) -> BatchRecord:
+        dispatcher = self.dispatcher
+        degraded = False
+        if self.resilience is not None:
+            dispatcher, degraded = self.resilience.select_dispatcher(self.dispatcher)
+            self.resilience.start_batch()
         context = DispatchContext(
             current_time=batch.end_time,
             batch=batch,
@@ -273,8 +321,16 @@ class Simulator:
             average_speed=self.average_speed,
         )
         dispatch_start = time.perf_counter()
-        result = self.dispatcher.dispatch(context)
+        result = dispatcher.dispatch(context)
         dispatch_seconds = time.perf_counter() - dispatch_start
+        if self.resilience is not None:
+            self.resilience.observe_batch(
+                dispatch_seconds, degraded=degraded, now=batch.end_time
+            )
+            if self.resilience.config.verify_assignments:
+                self.resilience.verify_assignments(
+                    self.network, self.oracle, result.assignments, vehicles_by_id
+                )
 
         assigned_ids: set[int] = set()
         for assignment in result.assignments:
@@ -328,6 +384,7 @@ class Simulator:
             assigned=len(assigned_ids),
             pending_after=len(pending),
             dispatch_seconds=dispatch_seconds,
+            degraded=degraded,
         )
 
     # ------------------------------------------------------------------ #

@@ -31,6 +31,17 @@ class EventKind(enum.Enum):
     VEHICLE_SHIFT_ENDED = "vehicle_shift_ended"
     ORACLE_REBUILT = "oracle_rebuilt"
     ORACLE_REPAIRED = "oracle_repaired"
+    # Resilience-layer events (values match the kind strings the
+    # :class:`repro.resilience.degrade.ResilienceManager` emits; ``subject``
+    # is the breaker index for breaker events -- 0 oracle, 1 dispatch --
+    # the retry attempt for ORACLE_RETRY and the failing-pair count for
+    # PROBE_FAILED / ORACLE_SELF_HEALED).
+    ORACLE_RETRY = "oracle_retry"
+    BREAKER_OPENED = "breaker_opened"
+    BREAKER_CLOSED = "breaker_closed"
+    DISPATCH_DEGRADED = "dispatch_degraded"
+    PROBE_FAILED = "probe_failed"
+    ORACLE_SELF_HEALED = "oracle_self_healed"
 
 
 @dataclass(frozen=True)

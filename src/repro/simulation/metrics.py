@@ -38,6 +38,9 @@ class BatchRecord:
     assigned: int
     pending_after: int
     dispatch_seconds: float
+    #: True when the resilience layer ran this batch on the degraded
+    #: dispatcher (its dispatch breaker was open).
+    degraded: bool = False
 
 
 @dataclass
@@ -83,6 +86,20 @@ class MetricsCollector:
     oracle_snapshot_hits: int = 0
     oracle_nodes_recontracted: int = 0
     oracle_shortcuts_replaced: int = 0
+    #: Resilience-layer accounting (chaos runs; all zero otherwise): faults
+    #: injected by the chaos injector, refresh retries performed, circuit
+    #: breaker trips (oracle + dispatch), batches run on the degraded
+    #: dispatcher, batches whose charged time overran the budget, invariant
+    #: probe mismatches, self-healing rebuilds triggered by them, and the
+    #: wall-clock spent inside failure handling (recovery latency).
+    faults_injected: int = 0
+    oracle_retries: int = 0
+    breaker_trips: int = 0
+    degraded_batches: int = 0
+    batch_overruns: int = 0
+    probe_failures: int = 0
+    self_heals: int = 0
+    recovery_seconds: float = 0.0
     peak_memory_bytes: int = 0
     num_batches: int = 0
     proposal_rounds: int = 0
@@ -137,6 +154,14 @@ class MetricsCollector:
             "oracle_snapshot_hits": float(self.oracle_snapshot_hits),
             "oracle_nodes_recontracted": float(self.oracle_nodes_recontracted),
             "oracle_shortcuts_replaced": float(self.oracle_shortcuts_replaced),
+            "faults_injected": float(self.faults_injected),
+            "oracle_retries": float(self.oracle_retries),
+            "breaker_trips": float(self.breaker_trips),
+            "degraded_batches": float(self.degraded_batches),
+            "batch_overruns": float(self.batch_overruns),
+            "probe_failures": float(self.probe_failures),
+            "self_heals": float(self.self_heals),
+            "recovery_seconds": self.recovery_seconds,
             "peak_memory_bytes": float(self.peak_memory_bytes),
             "num_batches": float(self.num_batches),
         }

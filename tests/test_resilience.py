@@ -1,0 +1,492 @@
+"""Resilience layer: fault injection, retry/backoff, breakers, self-healing.
+
+The chaos contract under test: with the same seed the injected fault
+sequence -- and therefore the whole simulation outcome -- is reproducible;
+under any injected fault sequence the run completes without an unhandled
+exception; and every accepted assignment's leg costs stay exact against a
+fresh Dijkstra over the mutated network.
+"""
+
+from __future__ import annotations
+
+import math
+from random import Random
+
+import pytest
+
+from repro.config import ChaosConfig, ResilienceConfig
+from repro.exceptions import (
+    ConfigurationError,
+    InjectedFaultError,
+    OracleBuildError,
+    OracleRepairError,
+)
+from repro.experiments.harness import (
+    CHAOS_RESILIENCE,
+    deterministic_summary,
+    run_chaos_case,
+)
+from repro.network.shortest_path import DistanceOracle
+from repro.resilience import (
+    BreakerState,
+    ChaosOracle,
+    CircuitBreaker,
+    FaultInjector,
+    InvariantProbe,
+    ResilienceManager,
+    RetryPolicy,
+)
+from repro.scenarios.presets import CHAOS_PRESETS, make_chaos_config
+
+
+# --------------------------------------------------------------------- #
+# configuration
+# --------------------------------------------------------------------- #
+class TestChaosConfig:
+    def test_defaults_are_quiet(self):
+        config = ChaosConfig()
+        assert not config.enabled
+
+    def test_any_positive_rate_enables(self):
+        assert ChaosConfig(corruption_rate=0.1).enabled
+        assert ChaosConfig(query_spike_rate=0.5).enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rebuild_failure_rate": -0.1},
+            {"repair_failure_rate": 1.5},
+            {"corruption_rate": math.nan},
+            {"corruption_factor": 1.0},
+            {"corruption_factor": -2.0},
+            {"spike_seconds": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(**kwargs)
+
+    def test_resilience_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(batch_time_budget=-1.0)
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(breaker_threshold=0)
+
+    def test_chaos_presets(self):
+        assert set(CHAOS_PRESETS) == {"flaky_oracle", "oracle_meltdown"}
+        flaky = make_chaos_config("flaky_oracle")
+        assert flaky.enabled
+        overridden = make_chaos_config("flaky_oracle", corruption_rate=0.0)
+        assert overridden.corruption_rate == 0.0
+        with pytest.raises(ConfigurationError):
+            make_chaos_config("full_moon")
+
+
+# --------------------------------------------------------------------- #
+# retry policy
+# --------------------------------------------------------------------- #
+class TestRetryPolicy:
+    def test_succeeds_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise InjectedFaultError("transient")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.5, jitter=0.25)
+        result, outcome = policy.call(
+            flaky, rng=Random(7), error_type=OracleBuildError, describe="op"
+        )
+        assert result == "ok"
+        assert outcome.attempts == 3
+        assert outcome.retries == 2
+        # Backoff is virtual: charged to the outcome, never slept.
+        assert outcome.backoff_seconds > 0.5
+        assert outcome.seconds >= outcome.backoff_seconds
+
+    def test_exhaustion_raises_typed_error(self):
+        def always_fails():
+            raise InjectedFaultError("down")
+
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+        with pytest.raises(OracleBuildError) as excinfo:
+            policy.call(
+                always_fails,
+                rng=Random(1),
+                error_type=OracleBuildError,
+                describe="rebuild",
+            )
+        assert isinstance(excinfo.value.__cause__, InjectedFaultError)
+
+        with pytest.raises(OracleRepairError):
+            policy.call(
+                always_fails,
+                rng=Random(1),
+                error_type=OracleRepairError,
+                describe="repair",
+            )
+
+    def test_deadline_budget_cuts_retries_short(self):
+        def always_fails():
+            raise InjectedFaultError("down")
+
+        # The first virtual pause alone blows the 1s deadline.
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=5.0, jitter=0.0, deadline=1.0
+        )
+        attempts = []
+        with pytest.raises(OracleBuildError, match="deadline"):
+            policy.call(
+                always_fails,
+                rng=Random(1),
+                error_type=OracleBuildError,
+                describe="rebuild",
+                on_retry=lambda a, p, e: attempts.append(a),
+            )
+        assert attempts == []  # never got to a second attempt
+
+    def test_non_repro_errors_propagate_immediately(self):
+        def broken():
+            raise ValueError("a genuine bug")
+
+        policy = RetryPolicy(max_attempts=5)
+        with pytest.raises(ValueError):
+            policy.call(
+                broken, rng=Random(1), error_type=OracleBuildError, describe="op"
+            )
+
+
+# --------------------------------------------------------------------- #
+# circuit breaker
+# --------------------------------------------------------------------- #
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=2, recovery_interval=2)
+        assert breaker.state is BreakerState.CLOSED
+        assert not breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.record_failure()  # second consecutive failure trips
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, recovery_interval=1)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED  # streak was broken
+
+    def test_recovery_cycle_closes_on_success(self):
+        breaker = CircuitBreaker(failure_threshold=1, recovery_interval=2)
+        assert breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.tick()  # cooldown 2 -> 1
+        assert breaker.tick()  # probe due
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.trips == 1
+
+    def test_half_open_failure_reopens_and_counts_a_trip(self):
+        breaker = CircuitBreaker(failure_threshold=2, recovery_interval=1)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.tick()
+        assert breaker.state is BreakerState.HALF_OPEN
+        # A single failure in half-open re-opens regardless of the threshold.
+        assert breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+
+
+# --------------------------------------------------------------------- #
+# fault injector
+# --------------------------------------------------------------------- #
+class TestFaultInjector:
+    def test_same_seed_same_fault_sequence(self):
+        config = ChaosConfig(
+            seed=42,
+            rebuild_failure_rate=0.4,
+            repair_failure_rate=0.4,
+            corruption_rate=0.4,
+            query_spike_rate=0.3,
+        )
+        logs = []
+        for _ in range(2):
+            injector = FaultInjector(config)
+            for _ in range(50):
+                injector.fail_rebuild()
+                injector.fail_repair()
+                injector.corrupt_refresh()
+                injector.query_spike()
+            logs.append((list(injector.fault_log), injector.faults_injected))
+        assert logs[0] == logs[1]
+        assert logs[0][1] > 0
+
+    def test_reset_rewinds_the_streams(self):
+        injector = FaultInjector(ChaosConfig(seed=3, rebuild_failure_rate=0.5))
+        first = [injector.fail_rebuild() for _ in range(20)]
+        injector.reset()
+        assert [injector.fail_rebuild() for _ in range(20)] == first
+
+    def test_spikes_do_not_shift_refresh_faults(self):
+        base = ChaosConfig(seed=11, rebuild_failure_rate=0.5)
+        with_spikes = base.with_overrides(query_spike_rate=1.0, spike_seconds=0.01)
+        a = FaultInjector(base)
+        b = FaultInjector(with_spikes)
+        decisions_a, decisions_b = [], []
+        for _ in range(30):
+            b.query_spike()  # separate stream: must not perturb rebuilds
+            decisions_a.append(a.fail_rebuild())
+            decisions_b.append(b.fail_rebuild())
+        assert decisions_a == decisions_b
+        assert b.pending_latency > 0
+        drained = b.drain_latency()
+        assert drained == pytest.approx(b.total_latency)
+        assert b.pending_latency == 0.0
+
+
+# --------------------------------------------------------------------- #
+# oracle seams: exception safety and opt-outs
+# --------------------------------------------------------------------- #
+class TestOracleSeams:
+    def test_rebuild_is_exception_safe(self, grid_network, monkeypatch):
+        oracle = DistanceOracle(grid_network, backend="ch")
+        want = oracle.cost(0, 35)
+        import repro.network.shortest_path as sp
+
+        def exploding(*args, **kwargs):
+            raise InjectedFaultError("backend factory crashed")
+
+        monkeypatch.setattr(sp, "make_backend", exploding)
+        with pytest.raises(InjectedFaultError):
+            oracle.rebuild()
+        # The failed rebuild must not have torn down the serving structures.
+        assert oracle.cost(0, 35) == pytest.approx(want)
+        monkeypatch.undo()
+        oracle.rebuild()
+        assert oracle.cost(0, 35) == pytest.approx(want)
+
+    def test_record_repair_support_opt_out(self, grid_network):
+        from repro.network.routing.backends import routing_data
+        from repro.network.routing.contraction import ContractionHierarchy
+
+        data = routing_data(grid_network, record_repair_support=False)
+        hierarchy = ContractionHierarchy(data.csr, record_repair_support=False)
+        assert hierarchy.repair(data.csr, [(0, 1)]) is None
+
+        oracle = DistanceOracle(
+            grid_network, backend="ch", record_repair_support=False
+        )
+        baseline = oracle.cost(0, 1)
+        grid_network.add_edge(0, 1, 123.0, bidirectional=True)
+        try:
+            report = oracle.repair()
+            # Without the support index an incremental splice is impossible;
+            # the repair ladder must land on a full rebuild, never a wrong
+            # answer.
+            assert report.mode in {"rebuilt", "snapshot"}
+            reference = DistanceOracle(
+                grid_network, cache_size=0, backend="dijkstra"
+            )
+            assert oracle.cost(0, 1) == pytest.approx(reference.cost(0, 1))
+            assert oracle.cost(0, 1) != pytest.approx(baseline)
+        finally:
+            grid_network.add_edge(0, 1, 10.0, bidirectional=True)
+
+    def test_chaos_oracle_with_quiet_injector_is_exact(self, grid_network):
+        injector = FaultInjector(ChaosConfig())
+        oracle = ChaosOracle(grid_network, injector=injector, backend="ch")
+        reference = DistanceOracle(grid_network, cache_size=0, backend="dijkstra")
+        assert oracle.cost(3, 30) == pytest.approx(reference.cost(3, 30))
+        assert not oracle.corrupted
+        assert injector.faults_injected == 0
+
+    def test_chaos_oracle_corruption_and_heal(self, grid_network):
+        injector = FaultInjector(
+            ChaosConfig(corruption_rate=1.0, corruption_factor=1.5)
+        )
+        oracle = ChaosOracle(grid_network, injector=injector, backend="ch")
+        exact = oracle.cost(3, 30)
+        oracle.rebuild()  # always succeeds, always corrupts at rate 1.0
+        assert oracle.corrupted
+        assert oracle.cost(3, 30) == pytest.approx(1.5 * exact)
+        oracle.heal()
+        assert oracle.cost(3, 30) == pytest.approx(exact)
+
+
+# --------------------------------------------------------------------- #
+# invariant probes and the self-healing rung
+# --------------------------------------------------------------------- #
+class TestProbesAndSelfHealing:
+    def test_probe_detects_corruption(self, grid_network):
+        injector = FaultInjector(
+            ChaosConfig(corruption_rate=1.0, corruption_factor=1.1)
+        )
+        oracle = ChaosOracle(grid_network, injector=injector, backend="ch")
+        probe = InvariantProbe(pairs=4, seed=5)
+        assert probe.check(grid_network, oracle) == []
+        oracle.rebuild()
+        failures = probe.check(grid_network, oracle)
+        assert failures
+        assert all(f.got == pytest.approx(1.1 * f.want) for f in failures)
+
+    def test_probe_sampling_is_seeded(self, grid_network, oracle):
+        a = InvariantProbe(pairs=6, seed=9)
+        b = InvariantProbe(pairs=6, seed=9)
+        a.check(grid_network, oracle)
+        b.check(grid_network, oracle)
+        assert a._rng.getstate() == b._rng.getstate()
+
+    def test_manager_self_heals_probe_failures(self, grid_network):
+        # Corruption always fires on refresh, but rebuilds never fail: the
+        # first heal attempt clears the corruption and the follow-up rebuild
+        # immediately re-corrupts -- heal() runs *after* guarded_rebuild in
+        # the ladder only via ChaosOracle.heal before the rebuild, so the
+        # re-check passes because heal clears the flag set by that rebuild.
+        manager = ResilienceManager(
+            config=ResilienceConfig(probe_pairs=4),
+            chaos=ChaosConfig(corruption_rate=1.0, corruption_factor=1.2),
+        )
+        oracle = manager.make_oracle(grid_network, backend="ch")
+        assert isinstance(oracle, ChaosOracle)
+        manager.begin_run()
+        oracle.rebuild()
+        assert oracle.corrupted
+        manager.before_dispatch(grid_network, oracle, now=0.0)
+        assert manager.stats.probe_failures > 0
+        assert manager.stats.self_heals > 0
+        # Post-heal the oracle must answer exactly, whatever rung it landed on.
+        reference = DistanceOracle(grid_network, cache_size=0, backend="dijkstra")
+        assert oracle.cost(2, 33) == pytest.approx(reference.cost(2, 33))
+
+    def test_manager_events_reach_the_recorder(self, grid_network):
+        manager = ResilienceManager(
+            config=ResilienceConfig(probe_pairs=4),
+            chaos=ChaosConfig(corruption_rate=1.0, corruption_factor=1.2),
+        )
+        oracle = manager.make_oracle(grid_network, backend="ch")
+        recorded = []
+        manager.begin_run(
+            recorder=lambda now, kind, subject, other=None: recorded.append(kind)
+        )
+        oracle.rebuild()
+        manager.before_dispatch(grid_network, oracle, now=5.0)
+        assert "probe_failed" in recorded
+        assert "oracle_self_healed" in recorded
+
+
+# --------------------------------------------------------------------- #
+# degradation ladder through the refresh policies
+# --------------------------------------------------------------------- #
+class TestGuardedRefresh:
+    def _manager(self, **chaos_kwargs):
+        return ResilienceManager(
+            config=ResilienceConfig(breaker_threshold=1, recovery_interval=1),
+            chaos=ChaosConfig(**chaos_kwargs),
+        )
+
+    def test_rebuild_failure_drops_to_exact_fallback(self, grid_network):
+        manager = self._manager(rebuild_failure_rate=1.0)
+        oracle = manager.make_oracle(grid_network, backend="ch")
+        manager.begin_run()
+        seconds, rebuilt = manager.guarded_rebuild(oracle)
+        assert not rebuilt
+        assert oracle.serving_fallback
+        assert manager.oracle_breaker.state is BreakerState.OPEN
+        assert manager.breaker_trips == 1
+        assert manager.stats.retries > 0
+        # Fallback answers stay exact.
+        reference = DistanceOracle(grid_network, cache_size=0, backend="dijkstra")
+        assert oracle.cost(1, 34) == pytest.approx(reference.cost(1, 34))
+
+    def test_repair_failure_climbs_to_rebuild(self, grid_network):
+        manager = self._manager(repair_failure_rate=1.0)
+        oracle = manager.make_oracle(grid_network, backend="ch")
+        manager.begin_run()
+        grid_network.add_edge(6, 7, 55.0, bidirectional=True)
+        try:
+            report = manager.guarded_repair(oracle)
+            assert report.mode == "rebuilt"
+            assert not oracle.serving_fallback
+        finally:
+            grid_network.add_edge(6, 7, 10.0, bidirectional=True)
+            oracle.injector.reset()
+            oracle.rebuild()
+
+    def test_open_breaker_recovers_via_half_open_probe(self, grid_network):
+        manager = self._manager(rebuild_failure_rate=1.0)
+        oracle = manager.make_oracle(grid_network, backend="ch")
+        manager.begin_run()
+        manager.guarded_rebuild(oracle)
+        assert manager.oracle_breaker.state is BreakerState.OPEN
+        # The fault clears; the next batch's recovery probe closes the breaker.
+        oracle.injector.config = oracle.injector.config.with_overrides(
+            rebuild_failure_rate=0.0
+        )
+        manager.before_dispatch(grid_network, oracle, now=10.0)
+        assert manager.oracle_breaker.state is BreakerState.CLOSED
+        assert not oracle.serving_fallback
+
+
+# --------------------------------------------------------------------- #
+# end-to-end chaos runs (the acceptance gate)
+# --------------------------------------------------------------------- #
+SMALL = dict(scale=0.05, city_scale=0.35)
+
+
+class TestChaosRuns:
+    def test_same_seed_runs_are_identical(self):
+        first = run_chaos_case(
+            "stadium_surge", "ch", "repair", chaos="flaky_oracle", **SMALL
+        )
+        second = run_chaos_case(
+            "stadium_surge", "ch", "repair", chaos="flaky_oracle", **SMALL
+        )
+        assert deterministic_summary(first) == deterministic_summary(second)
+        assert first["faults"] > 0
+
+    @pytest.mark.parametrize("policy", ["eager", "deferred", "coalesce", "repair"])
+    def test_stadium_surge_survives_meltdown(self, policy):
+        # The hard invariant: the run completes, assignments are verified
+        # exact (CHAOS_RESILIENCE turns verify_assignments on, so a single
+        # inexact accepted cost raises), and the resilience machinery
+        # actually engaged.
+        row = run_chaos_case(
+            "stadium_surge", "ch", policy, chaos="oracle_meltdown", **SMALL
+        )
+        assert row["faults"] > 0
+        assert row["breaker_trips"] > 0
+        assert row["self_heals"] > 0
+        assert row["service_rate"] > 0
+        again = run_chaos_case(
+            "stadium_surge", "ch", policy, chaos="oracle_meltdown", **SMALL
+        )
+        assert deterministic_summary(row) == deterministic_summary(again)
+
+    def test_degraded_dispatcher_engages_under_spikes(self):
+        row = run_chaos_case(
+            "stadium_surge", "ch", "eager", chaos="oracle_meltdown", **SMALL
+        )
+        assert row["overruns"] > 0
+        assert row["degraded"] > 0
+
+    def test_chaos_metrics_quiet_without_chaos(self):
+        from repro.experiments.harness import run_scenario_case
+
+        row = run_scenario_case("stadium_surge", "ch", "repair", **SMALL)
+        assert "breaker_trips" not in row  # plain grid stays chaos-free
+
+    def test_chaos_resilience_defaults_are_deterministic(self):
+        # Breaker decisions must not depend on the host's wall clock.
+        assert CHAOS_RESILIENCE.count_real_dispatch_time is False
+        assert CHAOS_RESILIENCE.verify_assignments is True
+        assert CHAOS_RESILIENCE.batch_time_budget is not None
