@@ -42,7 +42,7 @@ def test_table6_chd_nyc_angle_pruning(benchmark):
         rounds=1, iterations=1,
     )
     save_text("table6_angle_pruning_chd_nyc", _format(rows))
-    for dataset in {row.dataset for row in rows}:
+    for dataset in sorted({row.dataset for row in rows}):
         subset = {row.method: row for row in rows if row.dataset == dataset}
         assert subset["SARD-O"].shortest_path_queries <= subset["SARD"].shortest_path_queries
         assert subset["SARD-O"].service_rate >= subset["SARD"].service_rate - 0.1

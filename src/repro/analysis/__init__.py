@@ -1,0 +1,40 @@
+"""repro-lint: repo-specific determinism & invariant static analysis.
+
+The correctness story of this reproduction rests on conventions that are
+invisible to generic linters: every random draw flows through a seeded
+``random.Random`` stream, simulated time comes from the virtual batch clock
+(never the wall clock), CSR routing arrays are only mutated behind
+``mutation_count`` bumps inside ``network/routing/``, and float costs are
+compared through tolerance helpers.  One unseeded ``random.random()`` or a
+stray ``time.time()`` in a hot path silently breaks the deterministic-summary
+and chaos-parity gates CI relies on -- long after review.
+
+This package encodes those conventions as machine-checked AST rules (see
+:mod:`repro.analysis.rules` for the catalog), with three escape hatches:
+
+* **waivers** -- ``# repro-lint: disable=<CODE> <reason>`` on the violating
+  line; the reason is mandatory and lint-enforced (``WVR001``),
+* a **committed baseline** -- pre-existing violations are frozen in
+  ``.repro-lint-baseline.json`` and only *new* violations fail the build,
+* ``--fix`` -- mechanical rewrites for the autofixable rules.
+
+Run it as ``repro-lint src tests benchmarks`` (console script) or
+``python -m repro.analysis.cli``.
+"""
+
+from .baseline import Baseline
+from .engine import FileReport, analyze_path, analyze_paths, iter_python_files
+from .rules import RULES, Fix, Rule, Violation, rule_catalog
+
+__all__ = [
+    "RULES",
+    "Baseline",
+    "FileReport",
+    "Fix",
+    "Rule",
+    "Violation",
+    "analyze_path",
+    "analyze_paths",
+    "iter_python_files",
+    "rule_catalog",
+]

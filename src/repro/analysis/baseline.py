@@ -1,0 +1,83 @@
+"""Baseline support: freeze existing violations, fail only on new ones.
+
+The baseline file (``.repro-lint-baseline.json``, committed at the repo
+root) maps violation *fingerprints* to occurrence counts.  A fingerprint is
+``<path>::<code>::<hash of the stripped source line>`` -- line numbers are
+deliberately excluded so unrelated edits above a frozen violation do not
+resurrect it, while editing the violating line itself (or adding a second
+identical violation on another copy of the line) does fail the build.
+
+Policy: the baseline exists to land the linter without a flag-day, not as
+a place to park debt.  Per the repo's waiver policy it should stay
+near-empty for ``src/``; genuine exceptions belong in per-line waivers
+with a written reason where reviewers can see them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .engine import FileReport
+from .rules import Violation
+
+__all__ = ["Baseline"]
+
+_FORMAT_VERSION = 1
+
+
+def _fingerprint(violation: Violation, line_text: str) -> str:
+    digest = hashlib.sha1(line_text.strip().encode("utf-8")).hexdigest()[:12]
+    return f"{violation.path}::{violation.code}::{digest}"
+
+
+@dataclass
+class Baseline:
+    """Frozen violation fingerprints with per-fingerprint counts."""
+
+    entries: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> Baseline:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} in {path}"
+            )
+        entries = {str(key): int(count) for key, count in payload.get("entries", {}).items()}
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": {key: self.entries[key] for key in sorted(self.entries)},
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_reports(cls, reports: list[FileReport]) -> Baseline:
+        counts: Counter[str] = Counter()
+        for report in reports:
+            for violation in report.violations:
+                counts[_fingerprint(violation, report.line_text(violation.line))] += 1
+        return cls(entries=dict(counts))
+
+    def filter_new(self, reports: list[FileReport]) -> list[Violation]:
+        """Violations not covered by the baseline, in report order.
+
+        Each fingerprint absorbs up to its recorded count; extra identical
+        occurrences (a frozen pattern copy-pasted once more) are new.
+        """
+        budget = Counter(self.entries)
+        fresh: list[Violation] = []
+        for report in reports:
+            for violation in report.violations:
+                key = _fingerprint(violation, report.line_text(violation.line))
+                if budget[key] > 0:
+                    budget[key] -= 1
+                else:
+                    fresh.append(violation)
+        return fresh

@@ -1,0 +1,192 @@
+"""Command-line entry point for ``repro-lint``.
+
+Usage::
+
+    repro-lint [paths ...]            # lint (default: src tests benchmarks)
+    repro-lint --fix src              # apply mechanical autofixes, then lint
+    repro-lint --write-baseline       # freeze current violations
+    repro-lint --list-rules           # print the rule catalog
+    repro-lint --summary out.md       # markdown rule-hit table (CI job summary)
+
+Exit status: 0 when no *new* violations remain (baselined ones are frozen,
+waived ones are suppressed), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+
+from .baseline import Baseline
+from .engine import FileReport, analyze_paths
+from .fixes import apply_fixes
+from .rules import RULES, Violation, rule_catalog
+
+__all__ = ["main"]
+
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Determinism & invariant static analysis for the StructRide repro.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path.cwd(),
+        help="repo root used for relative paths and rule scoping (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every violation as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="freeze the current violations into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply autofixes for the mechanical rules before reporting",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    parser.add_argument(
+        "--statistics", action="store_true", help="print a per-rule hit count table"
+    )
+    parser.add_argument(
+        "--summary",
+        type=Path,
+        default=None,
+        help="write a markdown rule-hit summary table to this file (append)",
+    )
+    return parser
+
+
+def _resolve_paths(args: argparse.Namespace) -> list[Path]:
+    if args.paths:
+        return [Path(p) for p in args.paths]
+    defaults = [args.root / name for name in DEFAULT_PATHS]
+    return [path for path in defaults if path.exists()] or [args.root]
+
+
+def _statistics(reports: list[FileReport], new: list[Violation]) -> list[tuple[str, int, int]]:
+    """(code, total hits, new hits) for every rule, catalog order."""
+    total = Counter(v.code for report in reports for v in report.violations)
+    fresh = Counter(v.code for v in new)
+    rows = [(rule.code, total.pop(rule.code, 0), fresh.get(rule.code, 0)) for rule in RULES]
+    rows.extend((code, count, fresh.get(code, 0)) for code, count in sorted(total.items()))
+    return rows
+
+
+def _print_statistics(rows: list[tuple[str, int, int]], waiver_count: int) -> None:
+    print()
+    print(f"{'rule':<8} {'hits':>6} {'new':>6}")
+    for code, hits, fresh in rows:
+        print(f"{code:<8} {hits:>6} {fresh:>6}")
+    print(f"{'waivers':<8} {waiver_count:>6}")
+
+
+def _write_summary(
+    path: Path,
+    rows: list[tuple[str, int, int]],
+    new: list[Violation],
+    waiver_count: int,
+    files: int,
+) -> None:
+    summaries = {code: summary for code, _fixable, summary in rule_catalog()}
+    lines = [
+        "## repro-lint",
+        "",
+        f"{files} files analyzed, {len(new)} new violation(s), {waiver_count} waiver(s).",
+        "",
+        "| rule | hits | new | summary |",
+        "| --- | ---: | ---: | --- |",
+    ]
+    for code, hits, fresh in rows:
+        lines.append(f"| {code} | {hits} | {fresh} | {summaries.get(code, '—')} |")
+    if new:
+        lines += ["", "### New violations", ""]
+        lines += [f"- `{violation.render()}`" for violation in new[:50]]
+        if len(new) > 50:
+            lines.append(f"- … and {len(new) - 50} more")
+    lines.append("")
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+
+    if args.list_rules:
+        for code, fixable, summary in rule_catalog():
+            marker = "fixable" if fixable else "       "
+            print(f"{code}  [{marker}]  {summary}")
+        return 0
+
+    root: Path = args.root
+    paths = _resolve_paths(args)
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"repro-lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    reports = analyze_paths(paths, root)
+    if args.fix:
+        applied = apply_fixes(reports, root)
+        for rel, count in sorted(applied.items()):
+            print(f"fixed {count} violation(s) in {rel}")
+        # Re-analyze so the report reflects the post-fix tree.
+        reports = analyze_paths(paths, root)
+
+    baseline_path = args.baseline or (root / DEFAULT_BASELINE)
+    if args.write_baseline:
+        baseline = Baseline.from_reports(reports)
+        baseline.save(baseline_path)
+        count = sum(baseline.entries.values())
+        print(f"baseline written to {baseline_path} ({count} violation(s) frozen)")
+        return 0
+
+    if not args.no_baseline and baseline_path.is_file():
+        baseline = Baseline.load(baseline_path)
+        new = baseline.filter_new(reports)
+    else:
+        new = [violation for report in reports for violation in report.violations]
+
+    for violation in new:
+        print(violation.render())
+
+    waiver_count = sum(len(report.waivers) for report in reports)
+    rows = _statistics(reports, new)
+    if args.statistics:
+        _print_statistics(rows, waiver_count)
+    if args.summary is not None:
+        _write_summary(args.summary, rows, new, waiver_count, files=len(reports))
+
+    if new:
+        print(f"\nrepro-lint: {len(new)} new violation(s) in {len(reports)} file(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

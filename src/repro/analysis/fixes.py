@@ -1,0 +1,86 @@
+"""Autofix application for the mechanical repro-lint rules.
+
+Fixes are declarative single-span edits recorded on the violation by the
+rule (:class:`repro.analysis.rules.Fix`).  The applier splices replacement
+text by line/column span, working bottom-up so earlier spans stay valid,
+and then inserts any imports a fix requires after the last top-level import
+of the module.  Overlapping fixes are applied first-come only -- the next
+``--fix`` run picks up whatever remains, which keeps the applier simple and
+idempotent in practice.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from .engine import FileReport
+from .rules import Fix
+
+__all__ = ["apply_fixes", "fix_source"]
+
+
+def _splice(lines: list[str], fix: Fix) -> list[str]:
+    """Replace the [line:col, end_line:end_col) span with the fix text."""
+    start, end = fix.line - 1, fix.end_line - 1
+    prefix = lines[start][: fix.col]
+    suffix = lines[end][fix.end_col :]
+    replacement_lines = (prefix + fix.replacement + suffix).split("\n")
+    return lines[:start] + replacement_lines + lines[end + 1 :]
+
+
+def _overlaps(a: Fix, b: Fix) -> bool:
+    a_span = ((a.line, a.col), (a.end_line, a.end_col))
+    b_span = ((b.line, b.col), (b.end_line, b.end_col))
+    return a_span[0] < b_span[1] and b_span[0] < a_span[1]
+
+
+def _insert_imports(source: str, imports: list[str]) -> str:
+    """Insert missing import lines after the module's last top-level import."""
+    needed = [line for line in imports if line not in source]
+    if not needed:
+        return source
+    tree = ast.parse(source)
+    anchor = 0
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            anchor = node.end_lineno or node.lineno
+        elif isinstance(node, ast.Expr) and anchor == 0:
+            # Module docstring: imports go after it.
+            anchor = node.end_lineno or node.lineno
+    lines = source.splitlines()
+    return "\n".join(lines[:anchor] + needed + lines[anchor:]) + ("\n" if source.endswith("\n") else "")
+
+
+def fix_source(source: str, report: FileReport) -> tuple[str, int]:
+    """Apply every non-overlapping fix in *report*; return (new_source, n)."""
+    fixes = [v.fix for v in report.violations if v.fix is not None]
+    chosen: list[Fix] = []
+    for fix in fixes:
+        if not any(_overlaps(fix, kept) for kept in chosen):
+            chosen.append(fix)
+    if not chosen:
+        return source, 0
+    lines = source.splitlines()
+    for fix in sorted(chosen, key=lambda f: (f.line, f.col), reverse=True):
+        lines = _splice(lines, fix)
+    new_source = "\n".join(lines) + ("\n" if source.endswith("\n") else "")
+    imports = sorted({line for fix in chosen for line in fix.imports})
+    if imports:
+        new_source = _insert_imports(new_source, imports)
+    return new_source, len(chosen)
+
+
+def apply_fixes(reports: list[FileReport], root: Path) -> dict[str, int]:
+    """Rewrite files in place; return {path: fixes applied} for changed files."""
+    applied: dict[str, int] = {}
+    for report in reports:
+        target = root / report.path
+        if not target.is_file():
+            continue
+        source = target.read_text(encoding="utf-8")
+        new_source, count = fix_source(source, report)
+        if count and new_source != source:
+            target.write_text(new_source, encoding="utf-8")
+            applied[report.path] = count
+    return applied

@@ -20,6 +20,8 @@ once per batch and receives back schedule assignments.
   DARM+DPRS [53].
 """
 
+from typing import Any
+
 from .base import (
     Assignment,
     DispatchContext,
@@ -46,7 +48,7 @@ DISPATCHER_REGISTRY = {
 }
 
 
-def make_dispatcher(name: str, **kwargs) -> Dispatcher:
+def make_dispatcher(name: str, **kwargs: Any) -> Dispatcher:
     """Instantiate a dispatcher by its paper name (case-sensitive)."""
     try:
         factory = DISPATCHER_REGISTRY[name]

@@ -11,6 +11,8 @@ requests that proposed to it.
 
 from __future__ import annotations
 
+# DET002 audit: every draw below flows through a seeded random.Random
+# stream; the module-global generator is never called (repro-lint enforced).
 import random
 
 from ..grouping.additive_tree import GroupingStatistics, build_groups

@@ -177,7 +177,7 @@ class RTVDispatcher(Dispatcher):
                 bounds=bounds,
                 options={"time_limit": self._time_limit, "presolve": True},
             )
-        except Exception:  # pragma: no cover - solver availability guard
+        except Exception:  # pragma: no cover  # repro-lint: disable=STY001 scipy.optimize.milp raises version-dependent types; any failure falls back to greedy rounding
             return None
         if not result.success or result.x is None:
             return None

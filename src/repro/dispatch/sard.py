@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..config import SimulationConfig
 from ..grouping.additive_tree import GroupingStatistics, build_groups
@@ -27,6 +28,7 @@ from ..insertion.linear_insertion import best_insertion
 from ..model.request import Request
 from ..model.vehicle import RouteState, Vehicle
 from ..shareability.builder import DynamicShareabilityGraphBuilder
+from ..shareability.graph import ShareabilityGraph
 from ..shareability.loss import residual_shareability_loss, sharing_ratio
 from .base import Assignment, DispatchContext, DispatchResult, Dispatcher, candidate_vehicles
 
@@ -93,14 +95,14 @@ class SARDDispatcher(Dispatcher):
     # configuration helpers
     # ------------------------------------------------------------------ #
     @classmethod
-    def with_angle_pruning(cls, threshold: float | None = None, **kwargs) -> "SARDDispatcher":
+    def with_angle_pruning(cls, threshold: float | None = None, **kwargs: Any) -> "SARDDispatcher":
         """SARD-O: the variant with the angle pruning rule enabled."""
         dispatcher = cls(angle_threshold="config" if threshold is None else threshold, **kwargs)
         dispatcher.name = "SARD-O"
         return dispatcher
 
     @classmethod
-    def without_angle_pruning(cls, **kwargs) -> "SARDDispatcher":
+    def without_angle_pruning(cls, **kwargs: Any) -> "SARDDispatcher":
         """Plain SARD: shareability graph built without angle pruning."""
         dispatcher = cls(angle_threshold=None, **kwargs)
         dispatcher.name = "SARD"
@@ -214,7 +216,7 @@ class SARDDispatcher(Dispatcher):
             # its best group among its accumulated pool plus what it already
             # accepted.  Requests currently held by another vehicle are not
             # poached.
-            for vehicle_id in touched:
+            for vehicle_id in sorted(touched):
                 state = states[vehicle_id]
                 pool = dict(state.accepted)
                 for rid, request in state.proposals.items():
@@ -237,14 +239,14 @@ class SARDDispatcher(Dispatcher):
                     continue
                 chosen = set(best.members)
                 previously_accepted = set(state.accepted)
-                state.accepted = {rid: pool[rid] for rid in chosen}
+                state.accepted = {rid: pool[rid] for rid in sorted(chosen)}
                 state.accepted_group = best
-                for rid in chosen:
+                for rid in sorted(chosen):
                     assigned_to[rid] = vehicle_id
                     state.proposals.pop(rid, None)
                 # Requests evicted from the accepted set go back to the
                 # working pool for later proposals (they keep their queues).
-                for rid in previously_accepted - chosen:
+                for rid in sorted(previously_accepted - chosen):
                     if assigned_to.get(rid) == vehicle_id:
                         assigned_to.pop(rid, None)
 
@@ -288,7 +290,9 @@ class SARDDispatcher(Dispatcher):
             )
         return self._builder
 
-    def _select_group(self, groups, graph) -> RequestGroup | None:
+    def _select_group(
+        self, groups: list[RequestGroup], graph: ShareabilityGraph
+    ) -> RequestGroup | None:
         """Pick the group with minimal residual shareability loss (Thm. IV.1).
 
         The residual variant of Definition 6 counts only the sharing

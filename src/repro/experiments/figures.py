@@ -12,6 +12,8 @@ modules typically pass a reduced subset to keep wall-clock time reasonable.
 from __future__ import annotations
 
 import math
+# DET002 audit: every draw below flows through a seeded random.Random
+# stream; the module-global generator is never called (repro-lint enforced).
 import random
 from dataclasses import dataclass, field
 from collections.abc import Sequence
@@ -24,6 +26,7 @@ from ..model.schedule import Schedule
 from ..model.vehicle import RouteState
 from ..shareability.angle_pruning import expected_sharing_probability, fit_lognormal
 from ..shareability.builder import DynamicShareabilityGraphBuilder
+from ..shareability.graph import ShareabilityGraph
 from ..workloads.presets import Workload, make_workload
 from .harness import DEFAULT_ALGORITHMS, ExperimentRunner, ResultRow, SweepResult
 
@@ -353,7 +356,7 @@ def angle_pruning_ablation(
 
 def table5_angle_pruning(
     *, request_fraction: float = 0.0025, runner: ExperimentRunner | None = None
-):
+) -> list[PruningRow]:
     """Table V: the angle-pruning ablation on the Cainiao dataset."""
     return angle_pruning_ablation(
         presets=("cainiao",), request_fraction=request_fraction, runner=runner
@@ -362,7 +365,7 @@ def table5_angle_pruning(
 
 def table6_angle_pruning(
     *, request_fraction: float = 0.0025, runner: ExperimentRunner | None = None
-):
+) -> list[PruningRow]:
     """Table VI: the angle-pruning ablation on CHD and NYC."""
     return angle_pruning_ablation(
         presets=("chd", "nyc"), request_fraction=request_fraction, runner=runner
@@ -458,7 +461,9 @@ def insertion_order_study(
     return results
 
 
-def _sample_clique(graph, seed_id: int, size: int, rng: random.Random) -> set[int] | None:
+def _sample_clique(
+    graph: ShareabilityGraph, seed_id: int, size: int, rng: random.Random
+) -> set[int] | None:
     """Sample a clique of the given size containing ``seed_id`` (or ``None``)."""
     clique = {seed_id}
     candidates = set(graph.neighbors(seed_id))

@@ -12,9 +12,12 @@ experiments and CI exercise one code path.
 from __future__ import annotations
 
 import math
+# DET002 audit: every draw below flows through a seeded random.Random
+# stream; the module-global generator is never called (repro-lint enforced).
 import random
 from dataclasses import dataclass, field
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any
 
 from ..config import ChaosConfig, ResilienceConfig, ScenarioConfig, SimulationConfig
 from ..dispatch import make_dispatcher
@@ -23,6 +26,7 @@ from ..exceptions import ConfigurationError, ScenarioError
 from ..network.shortest_path import DistanceOracle
 from ..resilience.degrade import ResilienceManager
 from ..scenarios.presets import make_chaos_config, make_scenario_workload
+from ..scenarios.events import WorldView
 from ..scenarios.refresh import make_refresh_policy
 from ..scenarios.timeline import Scenario
 from ..simulation.engine import SimulationResult, Simulator
@@ -135,7 +139,7 @@ class ExperimentRunner:
         request_fraction: float = 0.0025,
         vehicle_fraction: float = 0.04,
         city_scale: float = 0.7,
-        dispatcher_factory=None,
+        dispatcher_factory: Callable[[str], Dispatcher] | None = None,
         routing_backend: str | None = None,
     ) -> None:
         if request_fraction <= 0 or vehicle_fraction <= 0 or city_scale <= 0:
@@ -308,7 +312,9 @@ class ExperimentRunner:
 # ---------------------------------------------------------------------- #
 # dynamic-world scenario grid (shared by benchmarks, experiments and CI)
 # ---------------------------------------------------------------------- #
-def _parity_probe(context: dict, pairs: int, seed: int):
+def _parity_probe(
+    context: dict[str, int], pairs: int, seed: int
+) -> Callable[[WorldView], None]:
     """Build the after-every-burst exactness probe for a scenario run.
 
     The probe compares the scenario oracle against a fresh Dijkstra over the
@@ -319,7 +325,7 @@ def _parity_probe(context: dict, pairs: int, seed: int):
     """
     rng = random.Random(seed)
 
-    def probe(world) -> None:
+    def probe(world: WorldView) -> None:
         context["bursts"] += 1
         network = world.network
         nodes = list(network.nodes())
@@ -423,7 +429,7 @@ def run_scenario_grid(
     scenarios: Sequence[str],
     backends: Sequence[str],
     policies: Sequence[str],
-    **case_kwargs,
+    **case_kwargs: Any,
 ) -> list[dict]:
     """Sweep the full scenario x backend x refresh-policy product.
 
@@ -533,7 +539,7 @@ def run_chaos_grid(
     scenarios: Sequence[str],
     backends: Sequence[str],
     policies: Sequence[str],
-    **case_kwargs,
+    **case_kwargs: Any,
 ) -> list[dict]:
     """Sweep the scenario x backend x refresh-policy product under chaos.
 

@@ -1,0 +1,31 @@
+"""The one sanctioned wall-clock shim (repro-lint DET001 allowlist).
+
+Simulation and resilience code must never read the host clock: simulated
+time comes from the batch clock and retry waits are virtual.  The only
+legitimate wall-clock uses are *reporting* concerns -- stamping a results
+file with when it was produced, measuring how long a whole experiment run
+took.  Those go through this module so that every host-clock dependency in
+``src/repro/`` is greppable in one place, and so DET001 can ban the raw
+calls everywhere else.
+
+``time.perf_counter()`` remains legal outside this shim: it only measures
+durations for metrics (``wall_clock_seconds``) and never feeds simulation
+logic.
+"""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime, timezone
+
+__all__ = ["utc_timestamp", "wall_clock"]
+
+
+def wall_clock() -> float:
+    """Seconds since the epoch, for run-report stamping only."""
+    return time.time()  # repro-lint: disable=DET001 the allowlisted shim body
+
+
+def utc_timestamp() -> str:
+    """ISO-8601 UTC timestamp for results files and job summaries."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")  # repro-lint: disable=DET001 the allowlisted shim body

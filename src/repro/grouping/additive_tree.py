@@ -12,10 +12,12 @@ shareability-ordered linear insertion of Section IV-A.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Iterable, Sequence
+from typing import Any
+from collections.abc import Callable, Iterable, Sequence
 
 from ..insertion.linear_insertion import best_insertion, base_route_cost
 from ..model.request import Request
+from ..model.schedule import Schedule
 from ..model.vehicle import RouteState
 from ..network.shortest_path import DistanceOracle
 from ..shareability.graph import ShareabilityGraph
@@ -39,7 +41,7 @@ class GroupingStatistics:
         self.pruned_infeasible += other.pruned_infeasible
 
 
-def _replace_schedule(route: RouteState, group_schedule) -> RouteState:
+def _replace_schedule(route: RouteState, group_schedule: Schedule) -> RouteState:
     """A route state identical to ``route`` but carrying ``group_schedule``."""
     return RouteState(
         vehicle_id=route.vehicle_id,
@@ -168,7 +170,7 @@ def build_groups(
 
 def best_group_by(
     groups: Iterable[RequestGroup],
-    key,
+    key: Callable[[RequestGroup], Any],
     *,
     prefer_larger: bool = True,
 ) -> RequestGroup | None:

@@ -18,6 +18,8 @@ All travel times are in seconds; all coordinates are in meters.
 from __future__ import annotations
 
 import math
+# DET002 audit: every draw below flows through a seeded random.Random
+# stream; the module-global generator is never called (repro-lint enforced).
 import random
 from dataclasses import dataclass
 

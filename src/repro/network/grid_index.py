@@ -62,7 +62,7 @@ class GridIndex:
     # ------------------------------------------------------------------ #
     # maintenance
     # ------------------------------------------------------------------ #
-    def insert(self, key, x: float, y: float) -> None:
+    def insert(self, key: int, x: float, y: float) -> None:
         """Insert (or move) ``key`` at position ``(x, y)``."""
         if key in self._positions:
             self.remove(key)
@@ -70,7 +70,7 @@ class GridIndex:
         self._cells.setdefault(cell, set()).add(key)
         self._positions[key] = (float(x), float(y))
 
-    def remove(self, key) -> None:
+    def remove(self, key: int) -> None:
         """Remove ``key`` from the index; missing keys are ignored."""
         position = self._positions.pop(key, None)
         if position is None:
@@ -82,7 +82,7 @@ class GridIndex:
             if not members:
                 del self._cells[cell]
 
-    def move(self, key, x: float, y: float) -> None:
+    def move(self, key: int, x: float, y: float) -> None:
         """Update the position of ``key`` (inserting it if absent)."""
         self.insert(key, x, y)
 
@@ -97,10 +97,10 @@ class GridIndex:
     def __len__(self) -> int:
         return len(self._positions)
 
-    def __contains__(self, key) -> bool:
+    def __contains__(self, key: int) -> bool:
         return key in self._positions
 
-    def position(self, key) -> tuple[float, float]:
+    def position(self, key: int) -> tuple[float, float]:
         """Stored position of ``key``."""
         try:
             return self._positions[key]
@@ -139,7 +139,7 @@ class GridIndex:
                         results.append(key)
         return results
 
-    def nearest(self, x: float, y: float, *, max_radius: float | None = None):
+    def nearest(self, x: float, y: float, *, max_radius: float | None = None) -> int | None:
         """Key closest to ``(x, y)`` or ``None`` if the index is empty.
 
         The search expands ring by ring, so it touches few cells when the

@@ -12,6 +12,7 @@ import itertools
 import math
 from collections import deque
 from collections.abc import Iterable, Iterator
+from typing import Any
 
 from ..exceptions import NetworkError
 
@@ -223,7 +224,7 @@ class RoadNetwork:
     # ------------------------------------------------------------------ #
     # interoperability
     # ------------------------------------------------------------------ #
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Export the network as a :class:`networkx.DiGraph` (for tests/analysis)."""
         import networkx as nx
 
@@ -235,7 +236,7 @@ class RoadNetwork:
         return graph
 
     @classmethod
-    def from_networkx(cls, graph, *, weight: str = "weight") -> "RoadNetwork":
+    def from_networkx(cls, graph: Any, *, weight: str = "weight") -> "RoadNetwork":
         """Build a :class:`RoadNetwork` from a networkx graph.
 
         Node attributes ``x``/``y`` (or ``pos``) provide coordinates; missing

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import heapq
 import math
+# DET002 audit: every draw below flows through a seeded random.Random
+# stream; the module-global generator is never called (repro-lint enforced).
 import random
 import weakref
 from collections.abc import Sequence
@@ -118,7 +120,9 @@ def routing_data(
 # ---------------------------------------------------------------------- #
 # dynamic worlds: content signatures + incremental repair
 # ---------------------------------------------------------------------- #
-def network_content(network: RoadNetwork) -> tuple:
+def network_content(
+    network: RoadNetwork,
+) -> tuple[tuple[int, ...], tuple[tuple[int, int, float], ...]]:
     """Canonical (order-insensitive) signature of a network's routing content.
 
     Covers the node set *and* the weighted edge set (node positions do not
@@ -131,7 +135,9 @@ def network_content(network: RoadNetwork) -> tuple:
     return tuple(sorted(network.nodes())), tuple(sorted(network.edges()))
 
 
-def csr_content(csr: CSRGraph) -> tuple:
+def csr_content(
+    csr: CSRGraph,
+) -> tuple[tuple[int, ...], tuple[tuple[int, int, float], ...]]:
     """The :func:`network_content` signature of a compiled CSR snapshot."""
     node_ids = csr.node_ids
     return tuple(node_ids), tuple(
@@ -158,7 +164,7 @@ def install_routing_data(network: RoadNetwork, data: RoutingData) -> None:
 def repair_routing_data(
     network: RoadNetwork,
     data: RoutingData,
-    mutated_edges,
+    mutated_edges: Sequence[tuple[int, int]],
     *,
     max_fraction: float = 1.0,
 ) -> tuple[RoutingData, CHRepairStats] | None:
@@ -399,13 +405,19 @@ class HubLabelBackend:
         return self.labeling.estimated_memory_bytes()
 
 
+#: Union of the concrete backend types the facade can hold; the backends
+#: share a duck-typed protocol (cost/search/path/estimated_memory_bytes)
+#: rather than a base class, so annotations use this alias.
+RoutingBackend = GraphSearchBackend | CHBackend | HubLabelBackend
+
+
 def make_backend(
     name: str,
     data: RoutingData,
     *,
     num_landmarks: int = 0,
     seed: int = 13,
-):
+) -> "RoutingBackend":
     """Instantiate the backend ``name`` over shared routing ``data``.
 
     ``num_landmarks > 0`` upgrades ``dijkstra`` to ``alt`` for backward

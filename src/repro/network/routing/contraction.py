@@ -68,6 +68,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
 from .csr import CSRGraph
@@ -348,7 +349,7 @@ class ContractionHierarchy:
         reduced_out: list[tuple[int, int, float]] | None = None,
         witness_out: set[int] | None = None,
         middle: dict[tuple[int, int], int] | None = None,
-    ):
+    ) -> Iterator[tuple[int, list[tuple[int, float]]]]:
         """Yield ``(u, [(x, weight), ...])`` shortcut groups for contracting ``v``.
 
         With ``reduce_edges`` overlay edges ``u -> x`` that the witness
@@ -512,7 +513,7 @@ class ContractionHierarchy:
     def repair(
         self,
         csr: CSRGraph,
-        changed_edges,
+        changed_edges: Sequence[tuple[int, int]],
         *,
         max_fraction: float = 1.0,
     ) -> tuple["ContractionHierarchy", CHRepairStats] | None:
@@ -628,7 +629,7 @@ class ContractionHierarchy:
                 new_map = {(u, x): w for u, x, w in added}
                 old_red = {(u, x) for u, x, _ in reduced_store[v]}
                 new_red = {(u, x) for u, x, _ in reduced}
-                for u, x in old_map.keys() | new_map.keys() | (old_red ^ new_red):
+                for u, x in sorted(old_map.keys() | new_map.keys() | (old_red ^ new_red)):
                     new_post = new_map.get((u, x))
                     if new_post is None:
                         new_post = fwd[u].get(x, inf)
@@ -650,9 +651,9 @@ class ContractionHierarchy:
                 bwd_store[v] = sb
                 old_witness = set(witness_store[v])
                 witness_store[v] = sorted(witness)
-                for y in old_witness - witness:
+                for y in old_witness - witness:  # repro-lint: disable=DET003 dep-set discard is order-insensitive; keeps the repair replay allocation-light
                     dep_set(y).discard(v)
-                for y in witness - old_witness:
+                for y in witness - old_witness:  # repro-lint: disable=DET003 dep-set add is order-insensitive; keeps the repair replay allocation-light
                     dep_set(y).add(v)
             else:
                 # Clean replay: the node's incident edges match the recorded

@@ -31,6 +31,8 @@ from .routing.backends import (
     BACKEND_NAMES,
     GraphSearchBackend,
     HubLabelBackend,
+    RoutingBackend,
+    RoutingData,
     csr_content,
     install_routing_data,
     make_backend,
@@ -317,7 +319,7 @@ class DistanceOracle:
             affected_fraction=stats.affected_fraction,
         )
 
-    def _adopt_data(self, data) -> None:
+    def _adopt_data(self, data: RoutingData) -> None:
         """Serve queries from ``data``: drop cache + fallback, rebind backend.
 
         The backend is constructed *before* any held state is dropped: a
@@ -337,7 +339,7 @@ class DistanceOracle:
         self._data = data
         self._backend = backend
 
-    def _remember_snapshot(self, key: tuple, data) -> None:
+    def _remember_snapshot(self, key: tuple, data: RoutingData) -> None:
         self._snapshots[key] = data
         self._snapshots.move_to_end(key)
         while len(self._snapshots) > SNAPSHOT_CAPACITY:
@@ -362,7 +364,7 @@ class DistanceOracle:
         self._fallback_data = data
         self._fallback = GraphSearchBackend(data)
 
-    def _active(self):
+    def _active(self) -> tuple[RoutingData, "RoutingBackend"]:
         """The ``(routing_data, backend)`` pair answering queries right now."""
         if self._fallback is not None:
             return self._fallback_data, self._fallback
@@ -598,7 +600,7 @@ class DistanceOracle:
             source_indices = {csr.require_index(s) for s, _ in missing}
             target_indices = {csr.require_index(t) for _, t in missing}
             table, work = backend.many_to_many(
-                list(source_indices), list(target_indices)
+                sorted(source_indices), sorted(target_indices)
             )
             self.stats.searches += len(missing)
             self.stats.settled_nodes += work

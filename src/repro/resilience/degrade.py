@@ -29,6 +29,7 @@ import math
 import time
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
+from typing import Any
 from random import Random
 
 from ..config import ChaosConfig, ResilienceConfig
@@ -197,7 +198,7 @@ class ResilienceManager:
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
-    def make_oracle(self, network: RoadNetwork, **kwargs) -> DistanceOracle:
+    def make_oracle(self, network: RoadNetwork, **kwargs: Any) -> DistanceOracle:
         """A chaos oracle when fault injection is configured, plain otherwise."""
         if self.injector is None:
             return DistanceOracle(network, **kwargs)

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import math
 from collections.abc import Sequence
+from typing import Any
 from random import Random
 
 from ..config import ChaosConfig
@@ -113,7 +114,7 @@ class ChaosOracle(DistanceOracle):
     """
 
     def __init__(
-        self, network: RoadNetwork, *, injector: FaultInjector, **kwargs
+        self, network: RoadNetwork, *, injector: FaultInjector, **kwargs: Any
     ) -> None:
         super().__init__(network, **kwargs)
         self.injector = injector

@@ -20,7 +20,7 @@ events must not be shared between simulation runs --
 from __future__ import annotations
 
 import math
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -86,7 +86,9 @@ class WorldEvent:
         raise NotImplementedError
 
 
-def _directed(edges: Sequence[tuple[int, int]], bidirectional: bool):
+def _directed(
+    edges: Sequence[tuple[int, int]], bidirectional: bool
+) -> Iterator[tuple[int, int]]:
     """Expand undirected pairs into the directed edges an event touches.
 
     Each directed pair is yielded at most once, however the caller listed

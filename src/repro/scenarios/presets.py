@@ -25,8 +25,11 @@ and returns the workload plus the scenario ready for
 from __future__ import annotations
 
 import math
+# DET002 audit: every draw below flows through a seeded random.Random
+# stream; the module-global generator is never called (repro-lint enforced).
 import random
 from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
 
 from ..config import ChaosConfig, DemandSurge, ScenarioConfig
 from ..exceptions import ConfigurationError
@@ -41,6 +44,9 @@ from .events import (
     traffic_wave,
 )
 from .timeline import Scenario
+
+if TYPE_CHECKING:
+    from ..workloads.presets import Workload
 
 #: Vehicle ids of scenario-spawned shift vehicles start here, far above any
 #: workload-generated fleet.
@@ -306,7 +312,7 @@ CHAOS_PRESETS: dict[str, ChaosConfig] = {
 }
 
 
-def make_chaos_config(name: str, **overrides) -> ChaosConfig:
+def make_chaos_config(name: str, **overrides: Any) -> ChaosConfig:
     """Look up a named chaos preset, optionally overriding its knobs."""
     key = name.lower()
     if key not in CHAOS_PRESETS:
@@ -325,9 +331,9 @@ def make_scenario_workload(
     vehicle_scale: float = 1.0,
     city_scale: float = 0.7,
     scenario_config: ScenarioConfig | None = None,
-    workload_overrides: dict | None = None,
-    simulation_overrides: dict | None = None,
-):
+    workload_overrides: dict[str, Any] | None = None,
+    simulation_overrides: dict[str, Any] | None = None,
+) -> tuple[Workload, Scenario]:
     """Build a workload preset together with a scenario derived from its city.
 
     The city network is built first so the scenario factory can derive zones

@@ -10,6 +10,7 @@ grouping algorithm, and removal of assigned or expired requests.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from typing import Any
 
 from ..exceptions import ReproError
 from ..model.request import Request
@@ -157,9 +158,9 @@ class ShareabilityGraph:
         """Induced subgraph on the given request identifiers."""
         keep = {rid for rid in request_ids if rid in self._requests}
         sub = ShareabilityGraph()
-        for rid in keep:
+        for rid in sorted(keep):
             sub.add_request(self._requests[rid])
-        for rid in keep:
+        for rid in sorted(keep):
             for neighbour in self._adjacency[rid]:
                 if neighbour in keep and rid < neighbour:
                     sub.add_edge(rid, neighbour)
@@ -191,7 +192,7 @@ class ShareabilityGraph:
             components.append(component)
         return components
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Export as an undirected :class:`networkx.Graph` (tests / analysis)."""
         import networkx as nx
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 
 from ..exceptions import ReproError
+from ..model.request import Request
 from .graph import ShareabilityGraph
 
 
@@ -117,7 +118,7 @@ def substitute_supernode(
     graph: ShareabilityGraph,
     group: Sequence[int],
     *,
-    supernode_request=None,
+    supernode_request: Request | None = None,
 ) -> ShareabilityGraph:
     """Return a copy of ``graph`` with ``group`` merged into a supernode.
 

@@ -23,6 +23,8 @@ downtown).
 from __future__ import annotations
 
 import math
+# DET002 audit: every draw below flows through a seeded random.Random
+# stream; the module-global generator is never called (repro-lint enforced).
 import random
 from collections.abc import Sequence
 

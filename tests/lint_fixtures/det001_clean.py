@@ -1,0 +1,12 @@
+"""Fixture: duration measurement stays DET001-clean.
+
+``time.perf_counter`` only measures durations for reporting and never
+feeds simulation logic, so it is not on the banned list.
+"""
+
+import time
+
+
+def measure() -> float:
+    start = time.perf_counter()
+    return time.perf_counter() - start

@@ -1,0 +1,17 @@
+"""Fixture: wall-clock calls that DET001 must flag inside src/repro/."""
+
+import time
+from datetime import datetime
+from time import sleep
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def nap() -> None:
+    sleep(0.1)
+
+
+def label() -> str:
+    return datetime.now().isoformat()

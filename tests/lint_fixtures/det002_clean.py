@@ -1,0 +1,9 @@
+"""Fixture: stream-seeded draws are the DET002-clean idiom."""
+
+import random
+
+_STREAM = random.Random("fixture-stream")
+
+
+def draw() -> float:
+    return _STREAM.random()

@@ -1,0 +1,11 @@
+"""Fixture: module-global RNG draws that DET002 must flag."""
+
+import random
+from random import shuffle
+
+JITTER = random.random()
+
+
+def scramble(items: list[int]) -> None:
+    shuffle(items)
+    random.seed(0)

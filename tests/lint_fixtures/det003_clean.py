@@ -1,0 +1,9 @@
+"""Fixture: sorted iteration and order-insensitive consumers (DET003-clean)."""
+
+
+def collect() -> list[str]:
+    tags = {"b", "a", "c"}
+    total = sum(len(t) for t in tags)
+    if all(t.islower() for t in tags):
+        return [t for t in sorted(tags)]
+    return [str(total)]

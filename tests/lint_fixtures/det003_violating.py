@@ -1,0 +1,11 @@
+"""Fixture: order-sensitive iteration over bare sets (DET003)."""
+
+
+def collect() -> list[str]:
+    tags = {"b", "a", "c"}
+    out = []
+    for tag in tags:
+        out.append(tag)
+    picked = [t for t in {"x", "y"}]
+    flat = list(tags - {"c"})
+    return out + picked + flat

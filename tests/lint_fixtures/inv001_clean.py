@@ -1,0 +1,5 @@
+"""Fixture: reading CSR arrays is always fine (INV001-clean)."""
+
+
+def total_weight(csr) -> float:
+    return sum(csr.weights)

@@ -1,0 +1,8 @@
+"""Fixture: CSR array mutations outside network/routing/ (INV001)."""
+
+
+def corrupt(csr) -> None:
+    csr.weights[0] = 0.0
+    csr.indices.append(7)
+    del csr.indptr[0]
+    csr.weights = []

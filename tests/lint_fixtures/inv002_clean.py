@@ -1,0 +1,13 @@
+"""Fixture: tolerant cost comparison and infinity sentinels (INV002-clean)."""
+
+INF_COST = float("inf")
+
+
+def unreachable(cost: float) -> bool:
+    return cost == INF_COST
+
+
+def same_cost(cost_a: float, cost_b: float) -> bool:
+    from repro.numeric import costs_equal
+
+    return costs_equal(cost_a, cost_b)

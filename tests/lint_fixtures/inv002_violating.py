@@ -1,0 +1,9 @@
+"""Fixture: exact float equality on costs (INV002)."""
+
+
+def same_cost(cost_a: float, cost_b: float) -> bool:
+    return cost_a == cost_b
+
+
+def changed(old_weight: float, new_weight: float) -> bool:
+    return old_weight != new_weight

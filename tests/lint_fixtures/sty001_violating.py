@@ -1,0 +1,15 @@
+"""Fixture: broad exception handlers without re-raise (STY001)."""
+
+
+def swallow(op) -> None:
+    try:
+        op()
+    except Exception:
+        pass
+
+
+def mute(op) -> None:
+    try:
+        op()
+    except:
+        pass

@@ -1,0 +1,7 @@
+"""Fixture: waiver semantics -- suppression plus WVR001 for missing reasons."""
+
+import random
+
+GOOD = random.random()  # repro-lint: disable=DET002 fixture exercises a reasoned waiver
+BAD = random.random()  # repro-lint: disable=DET002
+OTHER = random.random()  # repro-lint: disable=DET001 wrong code does not suppress

@@ -1,0 +1,363 @@
+"""Tests for the repro-lint static-analysis pass (repro.analysis).
+
+Each rule is exercised against a violating/clean fixture pair from
+``tests/lint_fixtures/`` with exact line-number assertions, followed by
+waiver semantics, baseline semantics, the autofixer and the CLI exit
+codes (including the synthetic-violation gate the CI job relies on).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, Baseline, rule_catalog
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import (
+    EXCLUDED_DIRS,
+    FileReport,
+    analyze_source,
+    iter_python_files,
+)
+from repro.analysis.fixes import fix_source
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+#: Virtual paths used to lint fixture sources in and out of rule scope.
+IN_SCOPE = "src/repro/fake/fixture.py"
+ROUTING_SCOPE = "src/repro/network/routing/fixture.py"
+TEST_SCOPE = "tests/fixture.py"
+TIMING_SHIM = "src/repro/experiments/timing.py"
+
+
+def lint_fixture(name: str, virtual_path: str = IN_SCOPE) -> FileReport:
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    return analyze_source(virtual_path, source)
+
+
+def hits(report: FileReport) -> list[tuple[str, int]]:
+    return [(v.code, v.line) for v in report.violations]
+
+
+# ---------------------------------------------------------------------------
+# Rule-by-rule: exact codes and line numbers.
+# ---------------------------------------------------------------------------
+
+
+class TestDET001:
+    def test_flags_wall_clock_calls(self) -> None:
+        report = lint_fixture("det001_violating.py")
+        assert hits(report) == [("DET001", 9), ("DET001", 13), ("DET001", 17)]
+
+    def test_perf_counter_is_clean(self) -> None:
+        assert hits(lint_fixture("det001_clean.py")) == []
+
+    def test_out_of_scope_paths_are_exempt(self) -> None:
+        # The rule only covers simulation code under src/repro/.
+        assert hits(lint_fixture("det001_violating.py", TEST_SCOPE)) == []
+
+    def test_timing_shim_is_allowlisted(self) -> None:
+        assert hits(lint_fixture("det001_violating.py", TIMING_SHIM)) == []
+
+
+class TestDET002:
+    def test_flags_module_global_rng(self) -> None:
+        report = lint_fixture("det002_violating.py")
+        assert hits(report) == [("DET002", 6), ("DET002", 10), ("DET002", 11)]
+
+    def test_applies_outside_src_too(self) -> None:
+        report = lint_fixture("det002_violating.py", TEST_SCOPE)
+        assert [code for code, _ in hits(report)] == ["DET002"] * 3
+
+    def test_seeded_stream_is_clean(self) -> None:
+        assert hits(lint_fixture("det002_clean.py")) == []
+
+
+class TestDET003:
+    def test_flags_ordered_iteration_over_sets(self) -> None:
+        report = lint_fixture("det003_violating.py")
+        assert hits(report) == [("DET003", 7), ("DET003", 9), ("DET003", 10)]
+
+    def test_every_hit_is_autofixable(self) -> None:
+        report = lint_fixture("det003_violating.py")
+        assert all(v.fix is not None for v in report.violations)
+
+    def test_sorted_and_reductions_are_clean(self) -> None:
+        assert hits(lint_fixture("det003_clean.py")) == []
+
+
+class TestINV001:
+    def test_flags_csr_mutations(self) -> None:
+        report = lint_fixture("inv001_violating.py")
+        assert hits(report) == [
+            ("INV001", 5),
+            ("INV001", 6),
+            ("INV001", 7),
+            ("INV001", 8),
+        ]
+
+    def test_routing_layer_is_exempt(self) -> None:
+        assert hits(lint_fixture("inv001_violating.py", ROUTING_SCOPE)) == []
+
+    def test_reads_are_clean(self) -> None:
+        assert hits(lint_fixture("inv001_clean.py")) == []
+
+
+class TestINV002:
+    def test_flags_exact_cost_equality(self) -> None:
+        report = lint_fixture("inv002_violating.py")
+        assert hits(report) == [("INV002", 5), ("INV002", 9)]
+
+    def test_out_of_scope_paths_are_exempt(self) -> None:
+        assert hits(lint_fixture("inv002_violating.py", TEST_SCOPE)) == []
+
+    def test_infinity_sentinel_and_helper_are_clean(self) -> None:
+        assert hits(lint_fixture("inv002_clean.py")) == []
+
+
+class TestSTY001:
+    def test_flags_swallowing_handlers(self) -> None:
+        report = lint_fixture("sty001_violating.py")
+        assert hits(report) == [("STY001", 7), ("STY001", 14)]
+
+    def test_reraise_and_narrow_types_are_clean(self) -> None:
+        assert hits(lint_fixture("sty001_clean.py")) == []
+
+
+# ---------------------------------------------------------------------------
+# Waiver semantics.
+# ---------------------------------------------------------------------------
+
+
+class TestWaivers:
+    def test_reasoned_waiver_suppresses_matching_code_only(self) -> None:
+        report = lint_fixture("waivers.py")
+        # Line 5: suppressed with a reason.  Line 6: suppressed but
+        # reasonless -> WVR001.  Line 7: waiver names the wrong code, so
+        # the DET002 violation survives (the waiver itself has a reason).
+        assert hits(report) == [("WVR001", 6), ("DET002", 7)]
+
+    def test_waivers_are_recorded_for_statistics(self) -> None:
+        report = lint_fixture("waivers.py")
+        assert [w.line for w in report.waivers] == [5, 6, 7]
+        assert report.waivers[0].reason
+
+    def test_wvr001_itself_cannot_be_waived(self) -> None:
+        source = "x = 1  # repro-lint: disable=WVR001\n"
+        report = analyze_source(IN_SCOPE, source)
+        assert hits(report) == [("WVR001", 1)]
+
+
+# ---------------------------------------------------------------------------
+# Baseline semantics.
+# ---------------------------------------------------------------------------
+
+
+def _reports(source: str, path: str = IN_SCOPE) -> list[FileReport]:
+    return [analyze_source(path, source)]
+
+
+class TestBaseline:
+    SOURCE = "import random\nJITTER = random.random()\n"
+
+    def test_frozen_violations_are_not_new(self) -> None:
+        reports = _reports(self.SOURCE)
+        baseline = Baseline.from_reports(reports)
+        assert baseline.filter_new(reports) == []
+
+    def test_fingerprints_survive_line_moves(self) -> None:
+        baseline = Baseline.from_reports(_reports(self.SOURCE))
+        shifted = "import random\n\n\n# moved down by unrelated edits\nJITTER = random.random()\n"
+        assert baseline.filter_new(_reports(shifted)) == []
+
+    def test_extra_copy_of_frozen_line_is_new(self) -> None:
+        baseline = Baseline.from_reports(_reports(self.SOURCE))
+        doubled = self.SOURCE + "JITTER = random.random()\n"
+        fresh = baseline.filter_new(_reports(doubled))
+        assert [v.code for v in fresh] == ["DET002"]
+
+    def test_editing_the_violating_line_is_new(self) -> None:
+        baseline = Baseline.from_reports(_reports(self.SOURCE))
+        edited = "import random\nJITTER = random.random() * 2\n"
+        fresh = baseline.filter_new(_reports(edited))
+        assert [v.code for v in fresh] == ["DET002"]
+
+    def test_roundtrip_and_version_check(self, tmp_path: Path) -> None:
+        baseline = Baseline.from_reports(_reports(self.SOURCE))
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        assert Baseline.load(target).entries == baseline.entries
+        target.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(target)
+
+    def test_committed_baseline_is_empty(self) -> None:
+        committed = Path(__file__).parent.parent / ".repro-lint-baseline.json"
+        payload = json.loads(committed.read_text())
+        assert payload == {"version": 1, "entries": {}}
+
+
+# ---------------------------------------------------------------------------
+# Autofix.
+# ---------------------------------------------------------------------------
+
+
+class TestAutofix:
+    def test_det003_fix_wraps_in_sorted(self) -> None:
+        source = (FIXTURES / "det003_violating.py").read_text(encoding="utf-8")
+        fixed, count = fix_source(source, analyze_source(IN_SCOPE, source))
+        assert count == 3
+        assert "for tag in sorted(tags):" in fixed
+        assert "[t for t in sorted({\"x\", \"y\"})]" in fixed
+        assert "list(sorted(tags - {\"c\"}))" in fixed
+        assert hits(analyze_source(IN_SCOPE, fixed)) == []
+
+    def test_inv002_fix_rewrites_and_inserts_import(self) -> None:
+        source = (FIXTURES / "inv002_violating.py").read_text(encoding="utf-8")
+        fixed, count = fix_source(source, analyze_source(IN_SCOPE, source))
+        assert count == 2
+        assert "from repro.numeric import costs_equal" in fixed
+        assert "return costs_equal(cost_a, cost_b)" in fixed
+        assert "return not costs_equal(old_weight, new_weight)" in fixed
+        assert hits(analyze_source(IN_SCOPE, fixed)) == []
+
+    def test_fix_is_idempotent(self) -> None:
+        source = (FIXTURES / "det003_violating.py").read_text(encoding="utf-8")
+        once, _ = fix_source(source, analyze_source(IN_SCOPE, source))
+        twice, count = fix_source(once, analyze_source(IN_SCOPE, once))
+        assert count == 0
+        assert twice == once
+
+    def test_non_fixable_rules_carry_no_fix(self) -> None:
+        report = lint_fixture("sty001_violating.py")
+        assert all(v.fix is None for v in report.violations)
+
+
+# ---------------------------------------------------------------------------
+# Catalog, discovery and CLI.
+# ---------------------------------------------------------------------------
+
+
+class TestCatalogAndDiscovery:
+    def test_catalog_codes_are_unique_and_documented(self) -> None:
+        codes = [code for code, _fixable, _summary in rule_catalog()]
+        assert codes == sorted(set(codes))
+        assert {"DET001", "DET002", "DET003", "INV001", "INV002", "STY001", "WVR001"} <= set(
+            codes
+        )
+        for rule in RULES:
+            assert rule.__doc__, f"{rule.code} has no docstring"
+
+    def test_fixture_dir_is_excluded_from_walks(self, tmp_path: Path) -> None:
+        assert "lint_fixtures" in EXCLUDED_DIRS
+        nested = tmp_path / "lint_fixtures"
+        nested.mkdir()
+        (nested / "skipme.py").write_text("import random\n")
+        (tmp_path / "seen.py").write_text("x = 1\n")
+        walked = iter_python_files([tmp_path])
+        assert [p.name for p in walked] == ["seen.py"]
+        # Explicitly named files are linted even inside excluded dirs.
+        explicit = iter_python_files([nested / "skipme.py"])
+        assert [p.name for p in explicit] == ["skipme.py"]
+
+
+def _make_repo(tmp_path: Path, body: str) -> Path:
+    pkg = tmp_path / "src" / "repro" / "fake"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text(body, encoding="utf-8")
+    return tmp_path
+
+
+class TestCLI:
+    def test_clean_tree_exits_zero(self, tmp_path: Path, capsys) -> None:
+        root = _make_repo(tmp_path, "x = 1\n")
+        assert lint_main(["--root", str(root)]) == 0
+
+    def test_synthetic_violation_fails_the_gate(self, tmp_path: Path, capsys) -> None:
+        # The same seeded violation the CI static-analysis job plants to
+        # prove the gate actually fails: a wall-clock read in src/repro/.
+        root = _make_repo(tmp_path, "import time\n_BOOT = time.time()\n")
+        assert lint_main(["--root", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+
+    def test_missing_path_exits_two(self, tmp_path: Path, capsys) -> None:
+        assert lint_main(["--root", str(tmp_path), str(tmp_path / "nope")]) == 2
+
+    def test_write_baseline_then_clean(self, tmp_path: Path, capsys) -> None:
+        root = _make_repo(tmp_path, "import random\nJ = random.random()\n")
+        baseline = root / ".repro-lint-baseline.json"
+        assert lint_main(["--root", str(root)]) == 1
+        assert lint_main(["--root", str(root), "--write-baseline"]) == 0
+        assert baseline.is_file()
+        assert lint_main(["--root", str(root)]) == 0
+        assert lint_main(["--root", str(root), "--no-baseline"]) == 1
+
+    def test_fix_mode_repairs_the_tree(self, tmp_path: Path, capsys) -> None:
+        body = "def f():\n    s = {2, 1}\n    return [x for x in s]\n"
+        root = _make_repo(tmp_path, body)
+        assert lint_main(["--root", str(root)]) == 1
+        assert lint_main(["--root", str(root), "--fix"]) == 0
+        fixed = (root / "src" / "repro" / "fake" / "mod.py").read_text()
+        assert "sorted(s)" in fixed
+
+    def test_list_rules(self, capsys) -> None:
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET001", "DET003", "INV002"):
+            assert code in out
+
+    def test_summary_table_is_written(self, tmp_path: Path, capsys) -> None:
+        root = _make_repo(tmp_path, "import time\n_BOOT = time.time()\n")
+        summary = tmp_path / "summary.md"
+        assert lint_main(["--root", str(root), "--summary", str(summary)]) == 1
+        text = summary.read_text()
+        assert "## repro-lint" in text
+        assert "| DET001 | 1 | 1 |" in text
+        assert "### New violations" in text
+
+
+# ---------------------------------------------------------------------------
+# The real tree is clean, and mypy (when available) agrees.
+# ---------------------------------------------------------------------------
+
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+class TestRealTree:
+    def test_repo_has_no_new_violations(self, capsys) -> None:
+        code = lint_main(
+            [
+                "--root",
+                str(REPO_ROOT),
+                str(REPO_ROOT / "src"),
+                str(REPO_ROOT / "tests"),
+                str(REPO_ROOT / "benchmarks"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, f"repro-lint found new violations:\n{out}"
+
+    def test_every_waiver_in_src_has_a_reason(self) -> None:
+        from repro.analysis.engine import analyze_paths
+
+        reports = analyze_paths([REPO_ROOT / "src"], REPO_ROOT)
+        reasonless = [
+            f"{report.path}:{waiver.line}"
+            for report in reports
+            for waiver in report.waivers
+            if not waiver.reason
+        ]
+        assert reasonless == []
+
+
+def test_mypy_strict_tiers() -> None:
+    """Strict-tier modules typecheck; skipped when mypy is absent locally."""
+    api = pytest.importorskip("mypy.api")
+    stdout, stderr, status = api.run(
+        ["--config-file", str(REPO_ROOT / "pyproject.toml"), "-p", "repro"]
+    )
+    assert status == 0, f"mypy failed:\n{stdout}\n{stderr}"
