@@ -13,6 +13,7 @@ the curves move with each parameter -- is what the benchmarks reproduce.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 from repro.experiments.figures import FigureResult
@@ -66,6 +67,18 @@ def save_rows(name: str, title: str, rows) -> str:
     text = format_rows(rows, title=title)
     _write(name, text, rows)
     return text
+
+
+def save_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable result next to the text table.
+
+    The JSON twin is what downstream tooling (``check_regression.py``, CI
+    summaries) should parse; the ``.txt`` table remains the human copy.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def save_text(name: str, text: str) -> str:

@@ -38,7 +38,7 @@ from repro.simulation.engine import Simulator
 from repro.simulation.events import EventKind
 from repro.workloads.presets import make_workload
 
-from _common import save_text
+from _common import save_json, save_text
 
 #: All routing backends, reference (``dijkstra``) first.
 BACKENDS = ("dijkstra", "alt", "ch", "hub_label")
@@ -61,6 +61,11 @@ HISTORY = (
     "witness sets) for incremental repair: ch build 59.9 -> 63.3 ms, query "
     "us unchanged; this table is now the CI regression-gate baseline "
     "(check_regression.py, >30% us/query fails).",
+    "  PR 8: observability: sampled query tracing sits behind a single "
+    "falsy-int guard in the oracle hot path; us/query unchanged on every "
+    "backend with tracing off.  Results are also written to "
+    "oracle_backends.json, which the regression gate prefers over this "
+    "text table.",
 )
 
 #: Fixed-seed scenario used by the cross-backend assignment check.
@@ -119,6 +124,22 @@ def measure_backends() -> list[dict]:
     for row in rows:
         row["speedup"] = baseline / row["query_us"]
     return rows
+
+
+def results_payload(rows: list[dict]) -> dict:
+    """Machine-readable twin of the text table (``oracle_backends.json``).
+
+    ``query_us`` is the per-backend map the regression gate consumes; the
+    full rows ride along for ad-hoc analysis.
+    """
+    return {
+        "benchmark": "oracle_backends",
+        "city_scale": CITY_SCALE,
+        "num_pairs": NUM_PAIRS,
+        "repeats": REPEATS,
+        "query_us": {row["backend"]: row["query_us"] for row in rows},
+        "rows": rows,
+    }
 
 
 def format_table(rows: list[dict]) -> str:
@@ -194,6 +215,7 @@ def test_backend_speedup():
         < by_name["dijkstra"]["settled_per_query"] / 2
     ), by_name["ch"]["settled_per_query"]
     save_text("oracle_backends", format_table(rows))
+    save_json("oracle_backends", results_payload(rows))
 
 
 def test_identical_assignments_across_backends():
@@ -213,6 +235,7 @@ def main() -> None:
             + ", ".join(BACKENDS)
         )
     save_text("oracle_backends", "\n".join(lines))
+    save_json("oracle_backends", results_payload(rows))
 
 
 if __name__ == "__main__":

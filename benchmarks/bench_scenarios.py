@@ -17,16 +17,22 @@ and every returned path is checked to avoid closed edges.
 Run directly (``python benchmarks/bench_scenarios.py``) for the full table,
 ``--smoke`` for the short CI grid (both scenarios x both backends x all
 policies at a smaller scale, with a markdown copy for the CI job summary),
-or through pytest like the other benchmarks.
+``--trace`` for one traced run that writes the observability artifacts
+(JSONL span trace, Prometheus snapshot, markdown report) into the results
+directory, or through pytest like the other benchmarks.
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro.experiments.harness import run_scenario_case, run_scenario_grid
+from repro.experiments.harness import (
+    run_scenario_case,
+    run_scenario_grid,
+    run_traced_case,
+)
 
-from _common import RESULTS_DIR, save_text
+from _common import RESULTS_DIR, save_json, save_text
 
 BACKENDS = ("ch", "hub_label")
 POLICIES = ("eager", "deferred", "coalesce", "repair")
@@ -117,6 +123,7 @@ def smoke_rows() -> list[dict]:
 
 def _save_grid(rows: list[dict], name: str, title: str) -> None:
     save_text(name, format_table(rows, title=title))
+    save_json(name, {"benchmark": name, "title": title, "rows": rows})
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.md").write_text(
         format_markdown(rows, title=title) + "\n"
@@ -167,6 +174,14 @@ def test_repair_beats_eager_rebuild():
 
 
 def main() -> None:
+    if "--trace" in sys.argv:
+        # Observability artifacts for the CI job: one traced SARD run whose
+        # span trace, Prometheus snapshot and markdown report land next to
+        # the benchmark tables (uploaded as CI artifacts / job summary).
+        _, paths = run_traced_case(RESULTS_DIR, name="traced_run")
+        for kind, path in sorted(paths.items()):
+            print(f"{kind}: {path}")
+        return
     if "--smoke" in sys.argv:
         _save_grid(
             smoke_rows(), "scenarios_smoke",

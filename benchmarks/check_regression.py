@@ -26,7 +26,7 @@ from repro.experiments.regression import (
     DEFAULT_THRESHOLD,
     compare_backend_tables,
     format_markdown,
-    parse_backend_table,
+    load_backend_table,
 )
 
 
@@ -55,8 +55,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     try:
-        baseline = parse_backend_table(args.baseline.read_text())
-        fresh = parse_backend_table(args.fresh.read_text())
+        # A sibling .json with the same stem wins over the text table (see
+        # load_backend_table), so passing the .txt path keeps working.
+        baseline = load_backend_table(args.baseline)
+        fresh = load_backend_table(args.fresh)
         deltas = compare_backend_tables(
             baseline, fresh, threshold=args.threshold, normalize=args.normalize
         )

@@ -125,7 +125,21 @@ from .resilience import (
     ResilienceManager,
     RetryPolicy,
 )
-from .experiments import ExperimentRunner, ResultRow, SweepResult
+from .observability import (
+    MetricRegistry,
+    SpanRecord,
+    SpanTracer,
+    TraceConfig,
+    get_tracer,
+    markdown_report,
+    prometheus_text,
+    set_tracer,
+    spans_to_jsonl,
+    tracing,
+    use_tracer,
+    write_run_artifacts,
+)
+from .experiments import ExperimentRunner, ResultRow, SweepResult, run_traced_case
 
 __version__ = "1.0.0"
 
@@ -225,8 +239,22 @@ __all__ = [
     "BreakerState",
     "InvariantProbe",
     "RetryPolicy",
+    # observability
+    "SpanTracer",
+    "SpanRecord",
+    "TraceConfig",
+    "MetricRegistry",
+    "tracing",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "spans_to_jsonl",
+    "prometheus_text",
+    "markdown_report",
+    "write_run_artifacts",
     # experiments
     "ExperimentRunner",
     "SweepResult",
     "ResultRow",
+    "run_traced_case",
 ]

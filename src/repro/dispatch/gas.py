@@ -17,6 +17,7 @@ import random
 
 from ..grouping.additive_tree import GroupingStatistics, build_groups
 from ..model.vehicle import RouteState
+from ..observability.trace import get_tracer
 from ..shareability.builder import DynamicShareabilityGraphBuilder
 from .base import (
     Assignment,
@@ -68,87 +69,99 @@ class GASDispatcher(Dispatcher):
                 average_speed=context.average_speed,
             )
         builder = self._builder
-        pending_by_id = {request.request_id: request for request in context.pending}
-        stale = [rid for rid in list(builder.graph.request_ids()) if rid not in pending_by_id]
-        builder.remove(stale)
-        builder.update(
-            [r for r in context.pending if r.request_id not in builder.graph]
-        )
-        graph = builder.graph
-
-        remaining = dict(pending_by_id)
-        vehicles = list(context.vehicles)
-        self._rng.shuffle(vehicles)
-        # RV-style pruning: each vehicle enumerates only the requests whose
-        # pick-up it can plausibly reach before the waiting deadline.
-        reachable = requests_by_vehicle(context, list(pending_by_id.values()))
-        routes = {
-            vehicle.vehicle_id: vehicle.route_state(context.current_time)
-            for vehicle in vehicles
-        }
-        accepted: dict[int, list] = {}
-        # GAS keeps scanning its additive index greedily until no vehicle can
-        # take another profitable group, so several passes over the fleet may
-        # assign additional groups on top of earlier ones.
-        for _ in range(self._max_passes):
-            progressed = False
-            for vehicle in vehicles:
-                if not remaining:
-                    break
-                route = routes[vehicle.vehicle_id]
-                if route.free_seats <= 0:
-                    continue
-                pool = [
-                    request
-                    for request in reachable.get(vehicle.vehicle_id, ())
-                    if request.request_id in remaining
-                ]
-                if self._max_pool is not None and len(pool) > self._max_pool:
-                    # Keep the closest requests; GAS on the full city would be
-                    # intractable in pure Python and the paper's point is
-                    # exactly that GAS enumerates too much.
-                    pool.sort(
-                        key=lambda r: context.network.euclidean(vehicle.location, r.source)
-                    )
-                    pool = pool[: self._max_pool]
-                if not pool:
-                    continue
-                groups = build_groups(
-                    pool,
-                    graph,
-                    route,
-                    context.oracle,
-                    max_group_size=config.group_size_limit,
-                    stats=self.grouping_stats,
-                )
-                self._last_group_count = max(self._last_group_count, len(groups))
-                if not groups:
-                    continue
-                # Profit-greedy: maximise total direct trip length of the
-                # group, breaking ties toward the smaller added travel cost.
-                best = max(groups, key=lambda g: (g.direct_cost, -g.delta_cost))
-                accepted.setdefault(vehicle.vehicle_id, []).extend(best.requests)
-                routes[vehicle.vehicle_id] = RouteState(
-                    vehicle_id=route.vehicle_id,
-                    origin=route.origin,
-                    departure_time=route.departure_time,
-                    schedule=best.schedule,
-                    capacity=route.capacity,
-                    onboard=route.onboard,
-                    min_insert_position=route.min_insert_position,
-                )
-                for rid in best.members:
-                    remaining.pop(rid, None)
-                builder.remove(best.members)
-                progressed = True
-            if not progressed or not remaining:
-                break
-        assignments = [
-            Assignment(
-                vehicle_id=vehicle_id,
-                schedule=routes[vehicle_id].schedule,
-                new_requests=tuple(requests),
+        tracer = get_tracer()
+        with tracer.span("gas.sync_graph") as sync_span:
+            pending_by_id = {request.request_id: request for request in context.pending}
+            stale = [
+                rid for rid in list(builder.graph.request_ids()) if rid not in pending_by_id
+            ]
+            builder.remove(stale)
+            builder.update(
+                [r for r in context.pending if r.request_id not in builder.graph]
             )
-            for vehicle_id, requests in accepted.items()
-        ]
+            graph = builder.graph
+            sync_span.tag("stale", len(stale))
+            sync_span.tag("graph_edges", graph.num_edges)
+
+        with tracer.span(
+            "gas.passes", pending=len(context.pending), vehicles=len(context.vehicles)
+        ):
+            remaining = dict(pending_by_id)
+            vehicles = list(context.vehicles)
+            self._rng.shuffle(vehicles)
+            # RV-style pruning: each vehicle enumerates only the requests whose
+            # pick-up it can plausibly reach before the waiting deadline.
+            reachable = requests_by_vehicle(context, list(pending_by_id.values()))
+            routes = {
+                vehicle.vehicle_id: vehicle.route_state(context.current_time)
+                for vehicle in vehicles
+            }
+            accepted: dict[int, list] = {}
+            # GAS keeps scanning its additive index greedily until no vehicle
+            # can take another profitable group, so several passes over the
+            # fleet may assign additional groups on top of earlier ones.
+            for _ in range(self._max_passes):
+                progressed = False
+                for vehicle in vehicles:
+                    if not remaining:
+                        break
+                    route = routes[vehicle.vehicle_id]
+                    if route.free_seats <= 0:
+                        continue
+                    pool = [
+                        request
+                        for request in reachable.get(vehicle.vehicle_id, ())
+                        if request.request_id in remaining
+                    ]
+                    if self._max_pool is not None and len(pool) > self._max_pool:
+                        # Keep the closest requests; GAS on the full city
+                        # would be intractable in pure Python and the paper's
+                        # point is exactly that GAS enumerates too much.
+                        pool.sort(
+                            key=lambda r: context.network.euclidean(
+                                vehicle.location, r.source
+                            )
+                        )
+                        pool = pool[: self._max_pool]
+                    if not pool:
+                        continue
+                    groups = build_groups(
+                        pool,
+                        graph,
+                        route,
+                        context.oracle,
+                        max_group_size=config.group_size_limit,
+                        stats=self.grouping_stats,
+                    )
+                    self._last_group_count = max(self._last_group_count, len(groups))
+                    if not groups:
+                        continue
+                    # Profit-greedy: maximise total direct trip length of the
+                    # group, breaking ties toward the smaller added travel
+                    # cost.
+                    best = max(groups, key=lambda g: (g.direct_cost, -g.delta_cost))
+                    accepted.setdefault(vehicle.vehicle_id, []).extend(best.requests)
+                    routes[vehicle.vehicle_id] = RouteState(
+                        vehicle_id=route.vehicle_id,
+                        origin=route.origin,
+                        departure_time=route.departure_time,
+                        schedule=best.schedule,
+                        capacity=route.capacity,
+                        onboard=route.onboard,
+                        min_insert_position=route.min_insert_position,
+                    )
+                    for rid in best.members:
+                        remaining.pop(rid, None)
+                    builder.remove(best.members)
+                    progressed = True
+                if not progressed or not remaining:
+                    break
+            assignments = [
+                Assignment(
+                    vehicle_id=vehicle_id,
+                    schedule=routes[vehicle_id].schedule,
+                    new_requests=tuple(requests),
+                )
+                for vehicle_id, requests in accepted.items()
+            ]
         return DispatchResult(assignments=assignments)

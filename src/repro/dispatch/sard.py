@@ -27,6 +27,7 @@ from ..grouping.group import RequestGroup
 from ..insertion.linear_insertion import best_insertion
 from ..model.request import Request
 from ..model.vehicle import RouteState, Vehicle
+from ..observability.trace import get_tracer
 from ..shareability.builder import DynamicShareabilityGraphBuilder
 from ..shareability.graph import ShareabilityGraph
 from ..shareability.loss import residual_shareability_loss, sharing_ratio
@@ -130,141 +131,164 @@ class SARDDispatcher(Dispatcher):
     # main entry point
     # ------------------------------------------------------------------ #
     def dispatch(self, context: DispatchContext) -> DispatchResult:
+        # Four contiguous stage spans cover the whole dispatch body, so a
+        # traced batch decomposes its recorded latency without gaps.
+        tracer = get_tracer()
         config = self._effective_config(context.config)
         builder = self._ensure_builder(context, config)
 
         # Synchronise the graph with the pending pool: assigned / expired
         # requests disappear, new ones are probed for shareable partners.
-        pending_by_id = {request.request_id: request for request in context.pending}
-        stale = [rid for rid in list(builder.graph.request_ids()) if rid not in pending_by_id]
-        builder.remove(stale)
-        new_requests = [r for r in context.pending if r.request_id not in builder.graph]
-        builder.update(new_requests)
-        graph = builder.graph
-
-        states = {
-            vehicle.vehicle_id: _VehicleState(
-                vehicle=vehicle, route=vehicle.route_state(context.current_time)
-            )
-            for vehicle in context.vehicles
-        }
+        with tracer.span("sard.sync_graph") as sync_span:
+            pending_by_id = {request.request_id: request for request in context.pending}
+            stale = [
+                rid for rid in list(builder.graph.request_ids()) if rid not in pending_by_id
+            ]
+            builder.remove(stale)
+            new_requests = [r for r in context.pending if r.request_id not in builder.graph]
+            builder.update(new_requests)
+            graph = builder.graph
+            sync_span.tag("stale", len(stale))
+            sync_span.tag("new_requests", len(new_requests))
+            sync_span.tag("graph_edges", graph.num_edges)
 
         # Candidate priority queues.  The paper proposes to the *worst*
         # vehicle (largest insertion delta) first, leaving the cheap vehicles
         # free for requests with fewer options; ``propose_worst_first=False``
         # flips the order for the ablation study.
-        sign = -1.0 if self._propose_worst_first else 1.0
-        queues: dict[int, list[tuple[float, int]]] = {}
-        assigned_to: dict[int, int] = {}
-        for request in context.pending:
-            queue: list[tuple[float, int]] = []
-            candidates = candidate_vehicles(
-                request, context, max_candidates=self._max_candidates
-            )
-            if candidates:
-                # Batch the pick-up legs of every candidate's insertion test
-                # (vehicle position -> request source) into one oracle call:
-                # a reverse multi-source search for the graph backends, a
-                # bucket join for hub labels.  ``prefetch`` leaves the
-                # logical query counters untouched.
-                context.oracle.prefetch(
-                    [states[v.vehicle_id].route.origin for v in candidates],
-                    (request.source,),
+        with tracer.span(
+            "sard.build_queues",
+            pending=len(context.pending),
+            vehicles=len(context.vehicles),
+        ):
+            states = {
+                vehicle.vehicle_id: _VehicleState(
+                    vehicle=vehicle, route=vehicle.route_state(context.current_time)
                 )
-            for vehicle in candidates:
-                state = states[vehicle.vehicle_id]
-                outcome = best_insertion(state.route, request, context.oracle)
-                if not outcome.feasible:
-                    continue
-                heapq.heappush(queue, (sign * outcome.delta_cost, vehicle.vehicle_id))
-            queues[request.request_id] = queue
+                for vehicle in context.vehicles
+            }
+            sign = -1.0 if self._propose_worst_first else 1.0
+            queues: dict[int, list[tuple[float, int]]] = {}
+            assigned_to: dict[int, int] = {}
+            for request in context.pending:
+                queue: list[tuple[float, int]] = []
+                candidates = candidate_vehicles(
+                    request, context, max_candidates=self._max_candidates
+                )
+                if candidates:
+                    # Batch the pick-up legs of every candidate's insertion
+                    # test (vehicle position -> request source) into one
+                    # oracle call: a reverse multi-source search for the graph
+                    # backends, a bucket join for hub labels.  ``prefetch``
+                    # leaves the logical query counters untouched.
+                    context.oracle.prefetch(
+                        [states[v.vehicle_id].route.origin for v in candidates],
+                        (request.source,),
+                    )
+                for vehicle in candidates:
+                    state = states[vehicle.vehicle_id]
+                    outcome = best_insertion(state.route, request, context.oracle)
+                    if not outcome.feasible:
+                        continue
+                    heapq.heappush(
+                        queue, (sign * outcome.delta_cost, vehicle.vehicle_id)
+                    )
+                queues[request.request_id] = queue
 
         # -------------------- proposal / acceptance rounds -------------- #
         # Every round pops at least one candidate vehicle from each live
         # queue, so the natural bound is the longest queue; evictions can add
         # a few extra rounds, hence the slack.
-        batch_group_count = 0
-        max_rounds = (self._max_candidates or len(context.vehicles)) * 2 + 10
-        for _ in range(max_rounds):
-            proposing = [
-                rid
-                for rid, queue in queues.items()
-                if queue and rid not in assigned_to
-            ]
-            if not proposing:
-                break
-            self.rounds_executed += 1
-            # Proposal phase: each unassigned request proposes to its current
-            # worst remaining candidate vehicle.  Proposals accumulate in the
-            # vehicle's pool R_wx across rounds (Algorithm 3 only removes the
-            # accepted requests from it), so later rounds can regroup earlier
-            # rejects with fresh arrivals.
-            touched: set[int] = set()
-            for rid in proposing:
-                queue = queues[rid]
-                while queue:
-                    _, vehicle_id = heapq.heappop(queue)
-                    state = states.get(vehicle_id)
-                    if state is None:
-                        continue
-                    state.proposals[rid] = pending_by_id[rid]
-                    touched.add(vehicle_id)
+        with tracer.span("sard.rounds") as rounds_span:
+            rounds_before = self.rounds_executed
+            batch_group_count = 0
+            max_rounds = (self._max_candidates or len(context.vehicles)) * 2 + 10
+            for _ in range(max_rounds):
+                proposing = [
+                    rid
+                    for rid, queue in queues.items()
+                    if queue and rid not in assigned_to
+                ]
+                if not proposing:
                     break
-            if not touched:
-                break
-            # Acceptance phase: every vehicle with new proposals re-selects
-            # its best group among its accumulated pool plus what it already
-            # accepted.  Requests currently held by another vehicle are not
-            # poached.
-            for vehicle_id in sorted(touched):
-                state = states[vehicle_id]
-                pool = dict(state.accepted)
-                for rid, request in state.proposals.items():
-                    holder = assigned_to.get(rid)
-                    if holder is None or holder == vehicle_id:
-                        pool[rid] = request
-                if not pool:
-                    continue
-                groups = build_groups(
-                    list(pool.values()),
-                    graph,
-                    state.route,
-                    context.oracle,
-                    max_group_size=config.group_size_limit,
-                    stats=self.grouping_stats,
-                )
-                batch_group_count = max(batch_group_count, len(groups))
-                best = self._select_group(groups, graph)
-                if best is None:
-                    continue
-                chosen = set(best.members)
-                previously_accepted = set(state.accepted)
-                state.accepted = {rid: pool[rid] for rid in sorted(chosen)}
-                state.accepted_group = best
-                for rid in sorted(chosen):
-                    assigned_to[rid] = vehicle_id
-                    state.proposals.pop(rid, None)
-                # Requests evicted from the accepted set go back to the
-                # working pool for later proposals (they keep their queues).
-                for rid in sorted(previously_accepted - chosen):
-                    if assigned_to.get(rid) == vehicle_id:
-                        assigned_to.pop(rid, None)
+                self.rounds_executed += 1
+                # Proposal phase: each unassigned request proposes to its
+                # current worst remaining candidate vehicle.  Proposals
+                # accumulate in the vehicle's pool R_wx across rounds
+                # (Algorithm 3 only removes the accepted requests from it),
+                # so later rounds can regroup earlier rejects with fresh
+                # arrivals.
+                touched: set[int] = set()
+                for rid in proposing:
+                    queue = queues[rid]
+                    while queue:
+                        _, vehicle_id = heapq.heappop(queue)
+                        state = states.get(vehicle_id)
+                        if state is None:
+                            continue
+                        state.proposals[rid] = pending_by_id[rid]
+                        touched.add(vehicle_id)
+                        break
+                if not touched:
+                    break
+                # Acceptance phase: every vehicle with new proposals
+                # re-selects its best group among its accumulated pool plus
+                # what it already accepted.  Requests currently held by
+                # another vehicle are not poached.
+                for vehicle_id in sorted(touched):
+                    state = states[vehicle_id]
+                    pool = dict(state.accepted)
+                    for rid, request in state.proposals.items():
+                        holder = assigned_to.get(rid)
+                        if holder is None or holder == vehicle_id:
+                            pool[rid] = request
+                    if not pool:
+                        continue
+                    groups = build_groups(
+                        list(pool.values()),
+                        graph,
+                        state.route,
+                        context.oracle,
+                        max_group_size=config.group_size_limit,
+                        stats=self.grouping_stats,
+                    )
+                    batch_group_count = max(batch_group_count, len(groups))
+                    best = self._select_group(groups, graph)
+                    if best is None:
+                        continue
+                    chosen = set(best.members)
+                    previously_accepted = set(state.accepted)
+                    state.accepted = {rid: pool[rid] for rid in sorted(chosen)}
+                    state.accepted_group = best
+                    for rid in sorted(chosen):
+                        assigned_to[rid] = vehicle_id
+                        state.proposals.pop(rid, None)
+                    # Requests evicted from the accepted set go back to the
+                    # working pool for later proposals (they keep their
+                    # queues).
+                    for rid in sorted(previously_accepted - chosen):
+                        if assigned_to.get(rid) == vehicle_id:
+                            assigned_to.pop(rid, None)
+            rounds_span.tag("rounds", self.rounds_executed - rounds_before)
+            rounds_span.tag("groups", batch_group_count)
 
         # -------------------- materialise assignments ------------------- #
-        assignments: list[Assignment] = []
-        for state in states.values():
-            if state.accepted_group is None or not state.accepted:
-                continue
-            assignments.append(
-                Assignment(
-                    vehicle_id=state.vehicle.vehicle_id,
-                    schedule=state.accepted_group.schedule,
-                    new_requests=tuple(state.accepted.values()),
+        with tracer.span("sard.materialize") as materialize_span:
+            assignments: list[Assignment] = []
+            for state in states.values():
+                if state.accepted_group is None or not state.accepted:
+                    continue
+                assignments.append(
+                    Assignment(
+                        vehicle_id=state.vehicle.vehicle_id,
+                        schedule=state.accepted_group.schedule,
+                        new_requests=tuple(state.accepted.values()),
+                    )
                 )
-            )
-        # Assigned requests leave the shareability graph right away so that
-        # the next batch starts from a clean working set.
-        builder.remove(list(assigned_to))
+            # Assigned requests leave the shareability graph right away so
+            # that the next batch starts from a clean working set.
+            builder.remove(list(assigned_to))
+            materialize_span.tag("assignments", len(assignments))
         # The memory estimate tracks the group pool of the *last* batch, not
         # a running maximum over the whole simulation.
         self._last_group_count = batch_group_count

@@ -8,7 +8,7 @@
   CSV tables printed by the benchmark harness.
 """
 
-from .harness import ExperimentRunner, ResultRow, SweepResult
+from .harness import ExperimentRunner, ResultRow, SweepResult, run_traced_case
 from .reporting import format_rows, rows_to_csv, series_by_algorithm
 from . import figures
 
@@ -16,6 +16,7 @@ __all__ = [
     "ExperimentRunner",
     "ResultRow",
     "SweepResult",
+    "run_traced_case",
     "format_rows",
     "rows_to_csv",
     "series_by_algorithm",

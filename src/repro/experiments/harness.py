@@ -19,11 +19,19 @@ from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable, Sequence
 from typing import Any
 
+from pathlib import Path
+
 from ..config import ChaosConfig, ResilienceConfig, ScenarioConfig, SimulationConfig
 from ..dispatch import make_dispatcher
 from ..dispatch.base import Dispatcher
 from ..exceptions import ConfigurationError, ScenarioError
 from ..network.shortest_path import DistanceOracle
+from ..observability import (
+    LATENCY_BUCKETS_S,
+    TraceConfig,
+    tracing,
+    write_run_artifacts,
+)
 from ..resilience.degrade import ResilienceManager
 from ..scenarios.presets import make_chaos_config, make_scenario_workload
 from ..scenarios.events import WorldView
@@ -307,6 +315,89 @@ class ExperimentRunner:
             assigned_requests=metrics.assigned_requests,
             total_requests=metrics.total_requests,
         )
+
+
+# ---------------------------------------------------------------------- #
+# traced runs (observability artifacts: JSONL trace, Prometheus, markdown)
+# ---------------------------------------------------------------------- #
+#: Summary keys pulled into the headline table of the traced-run report.
+TRACED_RUN_HIGHLIGHTS = (
+    "service_rate",
+    "unified_cost",
+    "dispatch_seconds",
+    "dispatch_p95_seconds",
+    "shortest_path_queries",
+)
+
+
+def run_traced_case(
+    out_dir: str | Path,
+    *,
+    name: str = "traced_run",
+    preset: str = "nyc",
+    algorithm: str = "SARD",
+    num_requests: int = 80,
+    num_vehicles: int = 12,
+    city_scale: float = 0.4,
+    backend: str | None = None,
+    trace_config: TraceConfig | None = None,
+) -> tuple[SimulationResult, dict[str, Path]]:
+    """Run one workload with span tracing on and write all three exports.
+
+    Unlike :meth:`ExperimentRunner.run_single` the oracle is built *here* so
+    sampled query tracing attaches to the oracle the simulator actually
+    queries.  Emits ``<name>.trace.jsonl`` / ``<name>.prom`` /
+    ``<name>.report.md`` into ``out_dir`` (the CI scenario job uploads them
+    as artifacts) and returns the raw result plus the written paths.
+    """
+    workload = make_workload(
+        preset,
+        city_scale=city_scale,
+        workload_overrides={
+            "num_requests": num_requests,
+            "num_vehicles": num_vehicles,
+        },
+        simulation_overrides={"routing_backend": backend} if backend else None,
+    )
+    config = workload.simulation_config
+    oracle = workload.fresh_oracle(backend=config.routing_backend)
+    simulator = Simulator(
+        network=workload.network,
+        oracle=oracle,
+        vehicles=workload.fresh_vehicles(),
+        requests=list(workload.requests),
+        dispatcher=make_dispatcher(algorithm),
+        config=config,
+        record_events=False,
+    )
+    with tracing(oracle=oracle, config=trace_config) as tracer:
+        result = simulator.run()
+    metrics = result.metrics
+    registry = metrics.as_registry()
+    # Fold the sampled oracle query latencies from the trace into the
+    # registry so the Prometheus snapshot carries the full picture.
+    query_latency = registry.histogram(
+        "oracle.query_seconds",
+        "Sampled shortest-path query latency",
+        buckets=LATENCY_BUCKETS_S,
+    )
+    for record in tracer.records:
+        if record.name == "oracle.query":
+            query_latency.observe(record.duration)
+    paths = write_run_artifacts(
+        out_dir,
+        name,
+        title=(
+            f"Traced run: {algorithm} on {workload.name} "
+            f"({metrics.total_requests} requests, {num_vehicles} vehicles, "
+            f"{oracle.backend_name} oracle)"
+        ),
+        summary=metrics.summary(),
+        tracer=tracer,
+        registry=registry,
+        highlight_keys=TRACED_RUN_HIGHLIGHTS,
+    )
+    return result, paths
 
 
 # ---------------------------------------------------------------------- #

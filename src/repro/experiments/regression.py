@@ -21,7 +21,9 @@ only *relative* backend regressions trip the gate.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..exceptions import ConfigurationError
 
@@ -53,6 +55,52 @@ def parse_backend_table(text: str) -> dict[str, float]:
     if not table:
         raise ConfigurationError("no backend rows found in benchmark table")
     return table
+
+
+def parse_backend_json(text: str) -> dict[str, float]:
+    """Extract ``backend -> us/query`` from an ``oracle_backends.json`` blob.
+
+    Accepts the payload :func:`benchmarks._common.save_json` writes for the
+    backend microbenchmark: a top-level ``query_us`` map is preferred; a
+    ``rows`` list of ``{"backend": ..., "query_us": ...}`` dicts is the
+    fallback so hand-rolled baselines also parse.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid benchmark JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ConfigurationError("benchmark JSON must be an object")
+    table: dict[str, float] = {}
+    query_us = payload.get("query_us")
+    if isinstance(query_us, dict):
+        for name, value in query_us.items():
+            table[str(name)] = float(value)
+    else:
+        for row in payload.get("rows", ()):
+            if isinstance(row, dict) and "backend" in row and "query_us" in row:
+                table[str(row["backend"])] = float(row["query_us"])
+    if not table:
+        raise ConfigurationError("no backend entries found in benchmark JSON")
+    return table
+
+
+def load_backend_table(path: str | Path) -> dict[str, float]:
+    """Load a backend table from disk, preferring the JSON twin.
+
+    Given ``oracle_backends.json`` (or any ``.json`` path) the JSON parser
+    runs directly.  Given the legacy ``.txt`` path, a sibling ``.json`` with
+    the same stem wins when it exists -- so CI keeps passing the text path
+    while transparently picking up the machine-readable artifact -- and the
+    text parser remains the fallback for old baselines.
+    """
+    path = Path(path)
+    if path.suffix == ".json":
+        return parse_backend_json(path.read_text())
+    sibling = path.with_suffix(".json")
+    if sibling.exists():
+        return parse_backend_json(sibling.read_text())
+    return parse_backend_table(path.read_text())
 
 
 @dataclass(frozen=True)
@@ -155,6 +203,8 @@ __all__ = [
     "DEFAULT_THRESHOLD",
     "BackendDelta",
     "parse_backend_table",
+    "parse_backend_json",
+    "load_backend_table",
     "compare_backend_tables",
     "format_markdown",
 ]

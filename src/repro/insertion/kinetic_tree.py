@@ -18,6 +18,7 @@ from ..model.request import Request
 from ..model.schedule import Schedule, Waypoint, WaypointKind
 from ..model.vehicle import RouteState
 from ..network.shortest_path import DistanceOracle
+from ..observability.trace import get_tracer
 
 
 class KineticTreeScheduler:
@@ -149,8 +150,14 @@ class KineticTreeScheduler:
         if not feasible_prefix:
             return None
 
-        recurse(prefix, pending, start_node, start_clock, start_load,
-                start_cost, picked_prefix)
+        with get_tracer().span(
+            "kinetic.insert",
+            stops=len(pending) + len(committed),
+            new_requests=len(new_requests),
+        ) as span:
+            recurse(prefix, pending, start_node, start_clock, start_load,
+                    start_cost, picked_prefix)
+            span.tag("feasible", best_order is not None)
         if best_order is None:
             return None
         return Schedule(best_order)

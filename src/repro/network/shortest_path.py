@@ -176,6 +176,12 @@ class DistanceOracle:
         #: Content-addressed LRU of recent routing states (see
         #: :meth:`repair`): edge-content signature -> RoutingData.
         self._snapshots: OrderedDict[tuple, object] = OrderedDict()
+        #: Query-trace sampling interval (observability).  0 disables; the
+        #: hot-path guard is a single falsy-int check so an untraced oracle
+        #: pays no measurable per-query cost.  See :meth:`set_query_tracing`.
+        self._trace_every = 0
+        self._trace_countdown = 0
+        self._trace_tracer: object | None = None
 
     # ------------------------------------------------------------------ #
     # public API
@@ -370,6 +376,31 @@ class DistanceOracle:
             return self._fallback_data, self._fallback
         return self._data, self._backend
 
+    def set_query_tracing(self, tracer: object | None, every: int = 100) -> None:
+        """Sample every ``every``-th *computed* point query into ``tracer``.
+
+        Each sampled query becomes an ``oracle.query`` trace event tagged
+        with the serving backend, the settled-node work it caused and its
+        wall-clock latency; batched ``many_to_many`` fills additionally
+        record one ``oracle.many_to_many`` event per backend batch (those
+        are coarse enough not to need sampling).  Cache hits are never
+        sampled -- the point is backend latency, not dict lookups.
+
+        ``tracer`` is any object with an ``event(name, *, duration, **tags)``
+        method (see :class:`repro.observability.SpanTracer`); ``None``,
+        ``every=0`` or a disabled tracer turns sampling off.
+        """
+        if every < 0:
+            raise NetworkError("query-trace sampling interval must be non-negative")
+        if tracer is None or every == 0 or not getattr(tracer, "enabled", False):
+            self._trace_every = 0
+            self._trace_countdown = 0
+            self._trace_tracer = None
+            return
+        self._trace_every = every
+        self._trace_countdown = every
+        self._trace_tracer = tracer
+
     def cost(self, source: int, target: int) -> float:
         """Minimum travel time from ``source`` to ``target`` in seconds.
 
@@ -537,6 +568,8 @@ class DistanceOracle:
                 self._cache_put((anchor, node_ids[index]), distance)
 
     def _compute(self, source: int, target: int) -> float:
+        if self._trace_every:
+            return self._compute_sampled(source, target)
         data, backend = self._active()
         csr = data.csr
         source_index = csr.require_index(source)
@@ -556,11 +589,48 @@ class DistanceOracle:
             self._cache_put((source, target), distance)
         return distance
 
+    def _compute_sampled(self, source: int, target: int) -> float:
+        """Traced variant of :meth:`_compute` (``_trace_every`` is non-zero).
+
+        Reuses :meth:`_compute` for the actual work by temporarily zeroing
+        the sampling flag, so the two paths cannot drift apart; only every
+        ``_trace_every``-th call pays for the two ``perf_counter`` reads.
+        """
+        every = self._trace_every
+        self._trace_countdown -= 1
+        if self._trace_countdown > 0:
+            self._trace_every = 0
+            try:
+                return self._compute(source, target)
+            finally:
+                self._trace_every = every
+        self._trace_countdown = every
+        settled_before = self.stats.settled_nodes
+        self._trace_every = 0
+        start = time.perf_counter()
+        try:
+            distance = self._compute(source, target)
+        finally:
+            self._trace_every = every
+        duration = time.perf_counter() - start
+        tracer = self._trace_tracer
+        if tracer is not None:
+            tracer.event(  # type: ignore[attr-defined]
+                "oracle.query",
+                duration=duration,
+                backend=self._active()[1].name,
+                settled=self.stats.settled_nodes - settled_before,
+                fallback=self._fallback is not None,
+            )
+        return distance
+
     def _compute_many(
         self,
         missing: list[tuple[int, int]],
         result: dict[tuple[int, int], float],
     ) -> None:
+        if self._trace_every:
+            return self._compute_many_traced(missing, result)
         data, backend = self._active()
         csr = data.csr
         if backend is self._fallback:
@@ -627,6 +697,37 @@ class DistanceOracle:
             distance = table[index_pair]
             result[(source, target)] = distance
             self._cache_put((source, target), distance)
+
+    def _compute_many_traced(
+        self,
+        missing: list[tuple[int, int]],
+        result: dict[tuple[int, int], float],
+    ) -> None:
+        """Traced variant of :meth:`_compute_many`: one event per batch fill.
+
+        Batched fills are orders of magnitude rarer than point queries, so
+        every one is recorded (no sampling).  The same zero-the-flag trick
+        as :meth:`_compute_sampled` reuses the plain implementation.
+        """
+        every = self._trace_every
+        settled_before = self.stats.settled_nodes
+        self._trace_every = 0
+        start = time.perf_counter()
+        try:
+            self._compute_many(missing, result)
+        finally:
+            self._trace_every = every
+        duration = time.perf_counter() - start
+        tracer = self._trace_tracer
+        if tracer is not None:
+            tracer.event(  # type: ignore[attr-defined]
+                "oracle.many_to_many",
+                duration=duration,
+                backend=self._active()[1].name,
+                pairs=len(missing),
+                settled=self.stats.settled_nodes - settled_before,
+                fallback=self._fallback is not None,
+            )
 
 
 __all__ = ["DistanceOracle", "QueryStatistics", "RepairReport", "BACKEND_NAMES"]

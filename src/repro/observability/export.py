@@ -1,0 +1,293 @@
+"""Machine-readable exporters: JSONL traces, Prometheus text, markdown report.
+
+Three formats, three audiences:
+
+* **JSONL** (one span object per line) -- for trace tooling and ad-hoc
+  ``jq``; append-friendly and streamable, unlike a single JSON array.
+* **Prometheus text exposition** -- for scraping a long-lived dispatch
+  service; rendered from a :class:`~repro.observability.registry.MetricRegistry`
+  so anything registered shows up without exporter changes.
+* **Markdown run report** -- for humans and CI job summaries: headline
+  metrics, per-stage span aggregates, dispatch-latency percentiles.
+
+All three are pure functions of their inputs (deterministic given a
+deterministic tracer clock), which is what makes golden-file testing
+possible.  :func:`write_run_artifacts` bundles them for the harness and
+bench scripts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from .registry import Histogram, MetricRegistry
+from .trace import SpanRecord
+
+if TYPE_CHECKING:
+    from .trace import Tracer
+
+#: Schema version stamped on every exported span line so downstream
+#: consumers can detect format changes.
+TRACE_SCHEMA_VERSION = 1
+
+
+# --------------------------------------------------------------------- #
+# JSONL trace export
+# --------------------------------------------------------------------- #
+def span_to_dict(record: SpanRecord) -> dict[str, object]:
+    """One span as a JSON-ready dict (stable key order)."""
+    return {
+        "v": TRACE_SCHEMA_VERSION,
+        "span_id": record.span_id,
+        "parent_id": record.parent_id,
+        "name": record.name,
+        "depth": record.depth,
+        "sim_time": record.sim_time,
+        "start_s": round(record.start, 9),
+        "duration_s": round(record.duration, 9),
+        "tags": record.tags,
+    }
+
+
+def spans_to_jsonl(records: Iterable[SpanRecord]) -> str:
+    """Render spans as JSON Lines (completion order, one object per line)."""
+    lines = [json.dumps(span_to_dict(record), sort_keys=False) for record in records]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# --------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------- #
+def _prom_name(name: str) -> str:
+    """Map a dotted registry name onto the Prometheus charset."""
+    sanitised = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if sanitised and sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return sanitised
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: MetricRegistry, *, prefix: str = "repro") -> str:
+    """Render a registry in the Prometheus text exposition format (v0.0.4).
+
+    Metric names are ``<prefix>_<dotted name with dots as underscores>``;
+    histograms expand into ``_bucket{le=...}`` / ``_sum`` / ``_count``
+    series exactly as a Prometheus client library would.
+    """
+    out: list[str] = []
+    for metric in registry:
+        name = _prom_name(metric.name)
+        if prefix:
+            name = f"{_prom_name(prefix)}_{name}"
+        if metric.description:
+            out.append(f"# HELP {name} {metric.description}")
+        out.append(f"# TYPE {name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for bound, cumulative in metric.cumulative():
+                out.append(f'{name}_bucket{{le="{_prom_value(bound)}"}} {cumulative}')
+            out.append(f"{name}_sum {_prom_value(metric.total_sum)}")
+            out.append(f"{name}_count {metric.total}")
+        else:
+            out.append(f"{name} {_prom_value(metric.value)}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+# --------------------------------------------------------------------- #
+# Markdown run report
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SpanAggregate:
+    """Per-span-name rollup used by the markdown report."""
+
+    name: str
+    count: int
+    total_s: float
+    max_s: float
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+def aggregate_spans(records: Iterable[SpanRecord]) -> list[SpanAggregate]:
+    """Roll spans up by name, ordered by descending total duration."""
+    totals: dict[str, list[float]] = {}
+    for record in records:
+        bucket = totals.setdefault(record.name, [0.0, 0.0, 0.0])
+        bucket[0] += 1
+        bucket[1] += record.duration
+        if record.duration > bucket[2]:
+            bucket[2] = record.duration
+    aggregates = [
+        SpanAggregate(name=name, count=int(count), total_s=total, max_s=peak)
+        for name, (count, total, peak) in totals.items()
+    ]
+    aggregates.sort(key=lambda agg: (-agg.total_s, agg.name))
+    return aggregates
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 0.001:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def _fmt_summary_value(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def markdown_report(
+    title: str,
+    *,
+    summary: Mapping[str, object] | None = None,
+    tracer: Tracer | None = None,
+    registry: MetricRegistry | None = None,
+    highlight_keys: Iterable[str] = (),
+) -> str:
+    """Human-facing run report (also rendered into CI job summaries).
+
+    Sections are emitted only for the inputs provided, so the same function
+    serves a metrics-only bench run and a fully traced harness run.
+    ``highlight_keys`` pulls selected summary keys into a headline table;
+    the full summary follows in a collapsible block.
+    """
+    lines: list[str] = [f"# {title}", ""]
+
+    if summary:
+        highlights = [key for key in highlight_keys if key in summary]
+        if highlights:
+            lines += ["| metric | value |", "| --- | --- |"]
+            lines += [f"| {key} | {_fmt_summary_value(summary[key])} |" for key in highlights]
+            lines.append("")
+        lines += ["<details><summary>Full metric summary</summary>", ""]
+        lines += ["| key | value |", "| --- | --- |"]
+        lines += [
+            f"| {key} | {_fmt_summary_value(value)} |" for key, value in sorted(summary.items())
+        ]
+        lines += ["", "</details>", ""]
+
+    if tracer is not None and tracer.records:
+        lines += [
+            "## Stage timings",
+            "",
+            "| span | count | total | mean | max |",
+            "| --- | --- | --- | --- | --- |",
+        ]
+        for agg in aggregate_spans(tracer.records):
+            lines.append(
+                f"| {agg.name} | {agg.count} | {_fmt_seconds(agg.total_s)}"
+                f" | {_fmt_seconds(agg.mean_s)} | {_fmt_seconds(agg.max_s)} |"
+            )
+        lines.append("")
+        if tracer.evicted:
+            lines += [f"_{tracer.evicted} oldest spans evicted from the ring buffer._", ""]
+
+    if registry is not None:
+        histograms = [metric for metric in registry if isinstance(metric, Histogram)]
+        if histograms:
+            lines += [
+                "## Latency distributions",
+                "",
+                "| histogram | count | mean | p50 | p95 | max bucket |",
+                "| --- | --- | --- | --- | --- | --- |",
+            ]
+            for hist in histograms:
+                # Upper bound of the highest non-empty bucket (overflow
+                # observations clamp to the last finite bound).
+                if hist.counts[-1]:
+                    top = hist.bounds[-1]
+                else:
+                    top = next(
+                        (
+                            bound
+                            for bound, count in zip(
+                                reversed(hist.bounds), reversed(hist.counts[:-1])
+                            )
+                            if count
+                        ),
+                        0.0,
+                    )
+                lines.append(
+                    f"| {hist.name} | {hist.total} | {_fmt_seconds(hist.mean)}"
+                    f" | {_fmt_seconds(hist.percentile(50))}"
+                    f" | {_fmt_seconds(hist.percentile(95))} | {_fmt_seconds(top)} |"
+                )
+            lines.append("")
+
+    return "\n".join(lines).rstrip() + "\n"
+
+
+# --------------------------------------------------------------------- #
+# Bundled artifact writer
+# --------------------------------------------------------------------- #
+def write_run_artifacts(
+    out_dir: str | Path,
+    name: str,
+    *,
+    title: str | None = None,
+    summary: Mapping[str, object] | None = None,
+    tracer: Tracer | None = None,
+    registry: MetricRegistry | None = None,
+    highlight_keys: Iterable[str] = (),
+) -> dict[str, Path]:
+    """Write the three export formats for one run; returns ``{format: path}``.
+
+    Emits ``<name>.trace.jsonl`` (when a tracer is given), ``<name>.prom``
+    (when a registry is given), and always ``<name>.report.md``.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: dict[str, Path] = {}
+
+    if tracer is not None:
+        trace_path = out / f"{name}.trace.jsonl"
+        trace_path.write_text(spans_to_jsonl(tracer.records), encoding="utf-8")
+        written["trace_jsonl"] = trace_path
+
+    if registry is not None:
+        prom_path = out / f"{name}.prom"
+        prom_path.write_text(prometheus_text(registry), encoding="utf-8")
+        written["prometheus"] = prom_path
+
+    report_path = out / f"{name}.report.md"
+    report_path.write_text(
+        markdown_report(
+            title or name,
+            summary=summary,
+            tracer=tracer,
+            registry=registry,
+            highlight_keys=highlight_keys,
+        ),
+        encoding="utf-8",
+    )
+    written["report_md"] = report_path
+    return written
+
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "SpanAggregate",
+    "aggregate_spans",
+    "markdown_report",
+    "prometheus_text",
+    "span_to_dict",
+    "spans_to_jsonl",
+    "write_run_artifacts",
+]

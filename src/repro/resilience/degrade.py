@@ -44,6 +44,7 @@ from ..exceptions import (
 )
 from ..network.road_network import RoadNetwork
 from ..network.shortest_path import DistanceOracle, RepairReport
+from ..observability.trace import get_tracer
 from .faults import ChaosOracle, FaultInjector
 from .probes import InvariantProbe
 from .retry import RetryPolicy
@@ -239,6 +240,13 @@ class ResilienceManager:
     def _emit(self, kind: str, subject: int, other: int | None = None) -> None:
         if self._recorder is not None:
             self._recorder(self._now, kind, subject, other)
+        # Mirror every resilience event into the active trace: breaker
+        # transitions, retries, probe failures and heals become leaf spans
+        # diagnosable next to the stage timings they interrupted.
+        if other is None:
+            get_tracer().event(f"resilience.{kind}", subject=subject)
+        else:
+            get_tracer().event(f"resilience.{kind}", subject=subject, other=other)
 
     def _on_oracle_retry(self, attempt: int, pause: float, error: ReproError) -> None:
         self.stats.retries += 1
@@ -359,7 +367,14 @@ class ResilienceManager:
         """Invariant probes; mismatches trigger the self-healing rung."""
         if self.config.probe_pairs <= 0:
             return
+        probe_start = time.perf_counter()
         failures = self.probe.check(network, oracle)
+        get_tracer().event(
+            "resilience.probe",
+            duration=time.perf_counter() - probe_start,
+            pairs=self.config.probe_pairs,
+            failures=len(failures),
+        )
         if not failures:
             return
         self.stats.probe_failures += len(failures)

@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from ..config import REFRESH_POLICIES, ScenarioConfig
 from ..exceptions import ConfigurationError
 from ..network.shortest_path import DistanceOracle
+from ..observability.trace import get_tracer
 
 #: Policy names accepted by :func:`make_refresh_policy` (mirrored by
 #: :data:`repro.config.REFRESH_POLICIES` for the config layer).
@@ -139,12 +140,27 @@ class OracleRefreshPolicy:
     def _rebuild(self, oracle: DistanceOracle) -> None:
         manager = self.resilience
         if manager is None:
-            self.stats.rebuild_seconds += oracle.rebuild()
+            seconds = oracle.rebuild()
+            self.stats.rebuild_seconds += seconds
             self.stats.rebuilds += 1
             self.stats.clear_stale()
+            get_tracer().event(
+                "oracle.rebuild",
+                duration=seconds,
+                policy=self.name,
+                backend=oracle.backend_name,
+                succeeded=True,
+            )
             return
         seconds, rebuilt = manager.guarded_rebuild(oracle)
         self.stats.rebuild_seconds += seconds
+        get_tracer().event(
+            "oracle.rebuild",
+            duration=seconds,
+            policy=self.name,
+            backend=oracle.backend_name,
+            succeeded=rebuilt,
+        )
         if rebuilt:
             self.stats.rebuilds += 1
             self.stats.clear_stale()
@@ -158,6 +174,7 @@ class OracleRefreshPolicy:
         oracle.enable_fallback()
         self.stats.deferred_bursts += 1
         self.stats.mark_stale()
+        get_tracer().event("oracle.defer", policy=self.name)
 
 
 class EagerRefreshPolicy(OracleRefreshPolicy):
@@ -249,6 +266,15 @@ class RepairRefreshPolicy(OracleRefreshPolicy):
         else:
             report = manager.guarded_repair(
                 oracle, max_affected_fraction=self.max_affected_fraction
+            )
+        if report.mode != "noop":
+            get_tracer().event(
+                "oracle.repair",
+                duration=report.seconds,
+                policy=self.name,
+                backend=oracle.backend_name,
+                mode=report.mode,
+                nodes_recontracted=report.nodes_recontracted,
             )
         stats = self.stats
         if report.mode == "fallback":

@@ -24,6 +24,7 @@ from ..model.request import Request
 from ..network.grid_index import GridIndex
 from ..network.road_network import RoadNetwork
 from ..network.shortest_path import DistanceOracle
+from ..observability.trace import get_tracer
 from .angle_pruning import passes_angle_filter
 from .graph import ShareabilityGraph
 
@@ -92,8 +93,18 @@ class DynamicShareabilityGraphBuilder:
 
         Returns the updated graph (the same object the builder maintains).
         """
-        for request in new_requests:
-            self._insert_request(request)
+        requests = list(new_requests)
+        if not requests:
+            return self.graph
+        with get_tracer().span(
+            "shareability.update", new_requests=len(requests)
+        ) as span:
+            edges_before = self.stats.edges_added
+            pairs_before = self.stats.pairs_tested
+            for request in requests:
+                self._insert_request(request)
+            span.tag("pairs_tested", self.stats.pairs_tested - pairs_before)
+            span.tag("edges_added", self.stats.edges_added - edges_before)
         return self.graph
 
     def remove(self, request_ids: Iterable[int]) -> None:

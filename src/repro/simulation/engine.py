@@ -31,6 +31,7 @@ from ..model.vehicle import Vehicle
 from ..network.grid_index import GridIndex
 from ..network.road_network import RoadNetwork
 from ..network.shortest_path import DistanceOracle
+from ..observability.trace import get_tracer
 from ..resilience.degrade import ResilienceManager
 from ..scenarios.events import WorldView
 from ..scenarios.refresh import OracleRefreshPolicy, make_refresh_policy
@@ -136,10 +137,13 @@ class Simulator:
         pending: dict[int, Request] = {}
         stream = BatchStream(self.requests, self.config.batch_period)
         last_time = stream.start_time
+        tracer = get_tracer()
         for batch in stream:
             last_time = batch.end_time
-            self._advance_vehicles(batch.end_time, metrics, events)
-            self._expire_pending(pending, batch.end_time, metrics, events)
+            tracer.set_sim_time(batch.end_time)
+            with tracer.span("sim.advance", batch=batch.index):
+                self._advance_vehicles(batch.end_time, metrics, events)
+                self._expire_pending(pending, batch.end_time, metrics, events)
             for request in batch:
                 pending[request.request_id] = request
                 if self.record_events:
@@ -147,15 +151,19 @@ class Simulator:
                         Event(request.release_time, EventKind.REQUEST_RELEASED,
                               request.request_id)
                     )
-            self._scenario_step(
-                batch.end_time, pending, vehicles_by_id, metrics, events
-            )
+            with tracer.span("scenario.step", batch=batch.index):
+                self._scenario_step(
+                    batch.end_time, pending, vehicles_by_id, metrics, events
+                )
             if resilience is not None:
                 # Recovery probes + invariant probes run between the scenario
                 # step (the only place corruption can be injected) and the
                 # dispatch, so assignments are always priced on a
                 # probe-verified oracle.
-                resilience.before_dispatch(self.network, self.oracle, batch.end_time)
+                with tracer.span("resilience.before_dispatch", batch=batch.index):
+                    resilience.before_dispatch(
+                        self.network, self.oracle, batch.end_time
+                    )
                 if (
                     self.refresh_policy is not None
                     and not self.oracle.serving_fallback
@@ -320,8 +328,19 @@ class Simulator:
             config=self.config,
             average_speed=self.average_speed,
         )
+        # The span brackets exactly the same window as ``dispatch_seconds``,
+        # so the dispatcher's stage spans (its direct children) sum to the
+        # recorded batch latency -- the property the observability tests pin.
         dispatch_start = time.perf_counter()
-        result = dispatcher.dispatch(context)
+        with get_tracer().span(
+            "dispatch.batch",
+            batch=batch.index,
+            algorithm=dispatcher.name,
+            pending=len(context.pending),
+            vehicles=len(context.vehicles),
+            degraded=degraded,
+        ):
+            result = dispatcher.dispatch(context)
         dispatch_seconds = time.perf_counter() - dispatch_start
         if self.resilience is not None:
             self.resilience.observe_batch(

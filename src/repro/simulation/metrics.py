@@ -15,6 +15,20 @@ from collections.abc import Iterable
 
 from ..config import SimulationConfig
 from ..model.request import Request
+from ..observability.registry import LATENCY_BUCKETS_S, MetricRegistry
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolated percentile over pre-sorted raw samples."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = rank - low
+    return sorted_values[low] + (sorted_values[high] - sorted_values[low]) * fraction
 
 
 def unified_cost(
@@ -127,6 +141,81 @@ class MetricsCollector:
         """Track the peak estimated working-set size."""
         self.peak_memory_bytes = max(self.peak_memory_bytes, estimate_bytes)
 
+    def dispatch_latency(self) -> dict[str, float]:
+        """Per-batch dispatch-latency distribution (p50 / p95 / max seconds).
+
+        Computed from the raw :class:`BatchRecord` samples so the tails are
+        exact, not bucketed -- a single slow batch (an oracle rebuild landing
+        inside the dispatch window, a degraded-mode fallback) shows up in
+        ``max`` even when the medians look healthy.
+        """
+        samples = sorted(record.dispatch_seconds for record in self.batch_records)
+        return {
+            "dispatch_p50_seconds": _percentile(samples, 50.0),
+            "dispatch_p95_seconds": _percentile(samples, 95.0),
+            "dispatch_max_seconds": samples[-1] if samples else 0.0,
+        }
+
+    def as_registry(self) -> MetricRegistry:
+        """Export the collected metrics as a typed registry.
+
+        This is the facade bridge to :mod:`repro.observability`: every scalar
+        counter becomes a registry counter, the distribution-worthy fields
+        become gauges, and the per-batch dispatch latencies populate a
+        histogram -- so :func:`repro.observability.prometheus_text` can
+        render a finished run without the collector knowing about exposition
+        formats.
+        """
+        registry = MetricRegistry()
+        counters = {
+            "requests.total": (self.total_requests, "Requests released"),
+            "requests.assigned": (self.assigned_requests, "Requests assigned"),
+            "requests.completed": (self.completed_requests, "Requests completed"),
+            "requests.expired": (self.expired_requests, "Requests expired unserved"),
+            "requests.cancelled": (self.cancelled_requests, "Requests cancelled"),
+            "oracle.queries": (
+                self.shortest_path_queries, "Logical shortest-path queries"
+            ),
+            "oracle.searches": (self.oracle_searches, "Backend searches executed"),
+            "oracle.settled_nodes": (
+                self.oracle_settled_nodes, "Nodes settled / label entries scanned"
+            ),
+            "oracle.rebuilds": (self.oracle_rebuilds, "Full oracle rebuilds"),
+            "oracle.repairs": (self.oracle_repairs, "Incremental oracle repairs"),
+            "oracle.fallback_queries": (
+                self.oracle_fallback_queries, "Queries served by the Dijkstra fallback"
+            ),
+            "scenario.events": (self.scenario_events, "World events applied"),
+            "resilience.faults_injected": (self.faults_injected, "Faults injected"),
+            "resilience.breaker_trips": (self.breaker_trips, "Circuit-breaker trips"),
+            "resilience.degraded_batches": (
+                self.degraded_batches, "Batches run on the degraded dispatcher"
+            ),
+            "sim.batches": (self.num_batches, "Dispatch batches run"),
+        }
+        for name, (value, description) in counters.items():
+            registry.counter(name, description).inc(value)
+        gauges = {
+            "sim.service_rate": (self.service_rate, "Fraction of requests assigned"),
+            "sim.unified_cost": (self.unified_cost, "Unified cost (Equation 3)"),
+            "sim.peak_memory_bytes": (
+                float(self.peak_memory_bytes), "Peak estimated working set"
+            ),
+            "sim.wall_clock_seconds": (
+                self.wall_clock_seconds, "End-to-end run wall clock"
+            ),
+        }
+        for name, (value, description) in gauges.items():
+            registry.gauge(name, description).set(value)
+        latency = registry.histogram(
+            "dispatch.batch_seconds",
+            "Per-batch dispatch latency",
+            buckets=LATENCY_BUCKETS_S,
+        )
+        for record in self.batch_records:
+            latency.observe(record.dispatch_seconds)
+        return registry
+
     def summary(self) -> dict[str, float]:
         """Flat dictionary used by the reporting layer."""
         return {
@@ -164,4 +253,5 @@ class MetricsCollector:
             "recovery_seconds": self.recovery_seconds,
             "peak_memory_bytes": float(self.peak_memory_bytes),
             "num_batches": float(self.num_batches),
+            **self.dispatch_latency(),
         }

@@ -1,0 +1,501 @@
+"""Tests for the observability layer: tracer, registry, instrumentation.
+
+The exporter golden-file tests live in ``test_exporters.py``; this module
+covers the tracer semantics (nesting, the disabled no-op identity, ring
+buffer eviction), the typed metric registry, the event-log query helpers,
+the metrics facade, and the end-to-end instrumentation contract: with
+tracing on, the per-stage spans of a dispatch batch account for the batch's
+measured dispatch time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.network.shortest_path import DistanceOracle
+from repro.observability import (
+    NOOP_SPAN,
+    NULL_TRACER,
+    MetricError,
+    MetricRegistry,
+    SpanTracer,
+    TraceConfig,
+    get_tracer,
+    set_tracer,
+    tracing,
+    use_tracer,
+)
+from repro.simulation.events import Event, EventKind, EventLog
+from repro.simulation.metrics import BatchRecord, MetricsCollector
+
+
+class StepClock:
+    """Deterministic clock: every call advances by a fixed step."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+# --------------------------------------------------------------------- #
+# SpanTracer
+# --------------------------------------------------------------------- #
+class TestSpanTracer:
+    def test_nesting_records_parent_and_depth(self):
+        tracer = SpanTracer(clock=StepClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner_rec, outer_rec = tracer.records
+        assert inner_rec.name == "inner"
+        assert inner_rec.parent_id == outer.span_id
+        assert inner_rec.depth == 1
+        assert outer_rec.parent_id is None
+        assert outer_rec.depth == 0
+        assert tracer.children_of(outer_rec.span_id) == [inner_rec]
+
+    def test_completion_order_children_before_parents(self):
+        tracer = SpanTracer(clock=StepClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        assert [record.name for record in tracer.records] == ["c", "b", "a"]
+
+    def test_durations_from_injected_clock(self):
+        tracer = SpanTracer(clock=StepClock(0.5))
+        with tracer.span("timed"):
+            pass
+        (record,) = tracer.records
+        # Enter consumes one tick, exit the next: exactly one step apart.
+        assert record.duration == 0.5
+
+    def test_sim_time_inherited_and_overridable(self):
+        tracer = SpanTracer(clock=StepClock())
+        with tracer.span("before"):
+            pass
+        tracer.set_sim_time(42.0)
+        with tracer.span("inherits"):
+            pass
+        with tracer.span("explicit", sim_time=7.0):
+            pass
+        by_name = {record.name: record for record in tracer.records}
+        assert by_name["before"].sim_time is None
+        assert by_name["inherits"].sim_time == 42.0
+        assert by_name["explicit"].sim_time == 7.0
+
+    def test_tags_from_kwargs_and_tag_method(self):
+        tracer = SpanTracer(clock=StepClock())
+        with tracer.span("tagged", batch=3, algorithm="SARD") as span:
+            span.tag("assignments", 5)
+        (record,) = tracer.records
+        assert record.tags == {"batch": 3, "algorithm": "SARD", "assignments": 5}
+
+    def test_ring_buffer_evicts_oldest(self):
+        tracer = SpanTracer(capacity=3, clock=StepClock())
+        for index in range(5):
+            tracer.event(f"e{index}")
+        assert len(tracer) == 3
+        assert tracer.evicted == 2
+        assert [record.name for record in tracer.records] == ["e2", "e3", "e4"]
+
+    def test_clear_resets_buffer_and_eviction_count(self):
+        tracer = SpanTracer(capacity=1, clock=StepClock())
+        tracer.event("one")
+        tracer.event("two")
+        assert tracer.evicted == 1
+        tracer.clear()
+        assert tracer.records == ()
+        assert tracer.evicted == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SpanTracer(0)
+
+    def test_exception_unwinds_nested_spans(self):
+        tracer = SpanTracer(clock=StepClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert [record.name for record in tracer.records] == ["inner", "outer"]
+        assert tracer._stack == []
+
+    def test_event_parented_to_innermost_open_span(self):
+        tracer = SpanTracer(clock=StepClock())
+        with tracer.span("parent") as parent:
+            tracer.event("leaf", duration=0.25, policy="eager")
+        leaf, _ = tracer.records
+        assert leaf.parent_id == parent.span_id
+        assert leaf.duration == 0.25
+        assert leaf.tags == {"policy": "eager"}
+
+
+# --------------------------------------------------------------------- #
+# disabled tracing: the null tracer must be allocation-free and inert
+# --------------------------------------------------------------------- #
+class TestNullTracer:
+    def test_default_active_tracer_is_null(self):
+        assert get_tracer() is NULL_TRACER
+        assert get_tracer().enabled is False
+
+    def test_span_returns_shared_noop_instance(self):
+        assert NULL_TRACER.span("anything", batch=1) is NOOP_SPAN
+        assert NULL_TRACER.span("other") is NOOP_SPAN
+
+    def test_noop_span_is_inert(self):
+        with NULL_TRACER.span("x") as span:
+            span.tag("key", 1)
+        NULL_TRACER.event("event", duration=1.0)
+        NULL_TRACER.set_sim_time(5.0)
+        assert NULL_TRACER.records == ()
+        assert NULL_TRACER.evicted == 0
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = SpanTracer(clock=StepClock())
+        assert get_tracer() is NULL_TRACER
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_none_disables(self):
+        tracer = SpanTracer(clock=StepClock())
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+            set_tracer(None)
+            assert get_tracer() is NULL_TRACER
+        finally:
+            set_tracer(previous)
+
+
+# --------------------------------------------------------------------- #
+# MetricRegistry
+# --------------------------------------------------------------------- #
+class TestMetricRegistry:
+    def test_counter_get_or_create_is_idempotent(self):
+        registry = MetricRegistry()
+        first = registry.counter("a.count", "desc")
+        second = registry.counter("a.count")
+        assert first is second
+        first.inc()
+        first.inc(2)
+        assert first.value == 3.0
+
+    def test_counter_rejects_negative_increment(self):
+        registry = MetricRegistry()
+        with pytest.raises(MetricError):
+            registry.counter("a").inc(-1)
+
+    def test_gauge_tracks_peak(self):
+        registry = MetricRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(5.0)
+        gauge.set(2.0)
+        gauge.inc(-1.0)
+        assert gauge.value == 1.0
+        assert gauge.peak == 5.0
+
+    def test_type_conflict_raises(self):
+        registry = MetricRegistry()
+        registry.counter("name")
+        with pytest.raises(MetricError):
+            registry.gauge("name")
+        with pytest.raises(MetricError):
+            registry.histogram("name")
+
+    def test_histogram_bucket_conflict_raises(self):
+        registry = MetricRegistry()
+        registry.histogram("h", buckets=(0.1, 1.0))
+        with pytest.raises(MetricError):
+            registry.histogram("h", buckets=(0.2, 1.0))
+
+    def test_histogram_buckets_must_strictly_increase(self):
+        registry = MetricRegistry()
+        with pytest.raises(MetricError):
+            registry.histogram("bad", buckets=(1.0, 1.0))
+        with pytest.raises(MetricError):
+            registry.histogram("empty", buckets=())
+
+    def test_histogram_bucketing_and_cumulative(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("h", buckets=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.004, 0.05, 0.2):
+            hist.observe(value)
+        assert hist.total == 4
+        assert hist.counts == [1, 1, 1, 1]
+        assert hist.cumulative() == [
+            (0.001, 1),
+            (0.01, 2),
+            (0.1, 3),
+            (float("inf"), 4),
+        ]
+
+    def test_histogram_percentile_clamps_overflow(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 10.0, 20.0):
+            hist.observe(value)
+        assert hist.percentile(0) == 0.0
+        assert hist.percentile(100) == 2.0  # overflow clamps to last bound
+        with pytest.raises(MetricError):
+            hist.percentile(101)
+
+    def test_iteration_is_sorted_by_name(self):
+        registry = MetricRegistry()
+        registry.counter("z")
+        registry.counter("a")
+        registry.gauge("m")
+        assert [metric.name for metric in registry] == ["a", "m", "z"]
+        assert len(registry) == 3
+        assert "a" in registry and "missing" not in registry
+
+    def test_as_dict_expands_histograms(self):
+        registry = MetricRegistry()
+        registry.counter("c").inc(2)
+        hist = registry.histogram("h", buckets=(1.0,))
+        hist.observe(0.5)
+        hist.observe(3.0)
+        assert registry.as_dict() == {"c": 2.0, "h.count": 2.0, "h.sum": 3.5}
+
+
+# --------------------------------------------------------------------- #
+# EventLog query helpers
+# --------------------------------------------------------------------- #
+class TestEventLog:
+    def _log(self) -> EventLog:
+        log = EventLog()
+        log.record(Event(time=1.0, kind=EventKind.REQUEST_RELEASED, subject=1))
+        log.record(Event(time=2.0, kind=EventKind.REQUEST_ASSIGNED, subject=1, other=7))
+        log.record(Event(time=3.0, kind=EventKind.REQUEST_RELEASED, subject=2))
+        log.record(Event(time=9.0, kind=EventKind.REQUEST_EXPIRED, subject=2))
+        return log
+
+    def test_capped_log_counts_dropped_events(self):
+        log = EventLog(max_events=2)
+        for index in range(5):
+            log.record(Event(time=float(index), kind=EventKind.REQUEST_RELEASED, subject=index))
+        assert len(log) == 2
+        assert log.dropped == 3
+        assert [event.subject for event in log] == [0, 1]
+
+    def test_uncapped_log_never_drops(self):
+        log = EventLog(max_events=None)
+        for index in range(10):
+            log.record(Event(time=0.0, kind=EventKind.REQUEST_RELEASED, subject=index))
+        assert len(log) == 10
+        assert log.dropped == 0
+
+    def test_of_kind_with_time_window(self):
+        log = self._log()
+        assert [e.time for e in log.of_kind(EventKind.REQUEST_RELEASED)] == [1.0, 3.0]
+        assert [e.time for e in log.of_kind(EventKind.REQUEST_RELEASED, start=2.0)] == [3.0]
+        assert [e.time for e in log.of_kind(EventKind.REQUEST_RELEASED, end=2.0)] == [1.0]
+        assert log.of_kind(EventKind.REQUEST_RELEASED, start=4.0, end=8.0) == []
+
+    def test_in_window_is_inclusive(self):
+        log = self._log()
+        assert [event.time for event in log.in_window(2.0, 3.0)] == [2.0, 3.0]
+        with pytest.raises(ValueError):
+            log.in_window(5.0, 1.0)
+
+    def test_counts_by_kind(self):
+        log = self._log()
+        assert log.counts_by_kind() == {
+            EventKind.REQUEST_RELEASED: 2,
+            EventKind.REQUEST_ASSIGNED: 1,
+            EventKind.REQUEST_EXPIRED: 1,
+        }
+
+
+# --------------------------------------------------------------------- #
+# MetricsCollector facade
+# --------------------------------------------------------------------- #
+def _batch(index: int, seconds: float) -> BatchRecord:
+    return BatchRecord(
+        index=index,
+        start_time=index * 5.0,
+        end_time=(index + 1) * 5.0,
+        released=1,
+        assigned=1,
+        pending_after=0,
+        dispatch_seconds=seconds,
+    )
+
+
+class TestMetricsFacade:
+    def test_dispatch_latency_percentiles(self):
+        metrics = MetricsCollector()
+        for index, seconds in enumerate((0.01, 0.02, 0.03, 0.04, 0.1)):
+            metrics.record_batch(_batch(index, seconds))
+        latency = metrics.dispatch_latency()
+        assert latency["dispatch_p50_seconds"] == pytest.approx(0.03)
+        assert latency["dispatch_p95_seconds"] == pytest.approx(0.088)
+        assert latency["dispatch_max_seconds"] == pytest.approx(0.1)
+
+    def test_dispatch_latency_empty_run(self):
+        latency = MetricsCollector().dispatch_latency()
+        assert latency == {
+            "dispatch_p50_seconds": 0.0,
+            "dispatch_p95_seconds": 0.0,
+            "dispatch_max_seconds": 0.0,
+        }
+
+    def test_summary_contains_latency_keys(self):
+        metrics = MetricsCollector()
+        metrics.record_batch(_batch(0, 0.05))
+        summary = metrics.summary()
+        assert summary["dispatch_p50_seconds"] == pytest.approx(0.05)
+        assert summary["dispatch_max_seconds"] == pytest.approx(0.05)
+        assert summary["num_batches"] == 1.0
+
+    def test_as_registry_mirrors_collector(self):
+        metrics = MetricsCollector(
+            total_requests=10, assigned_requests=8, shortest_path_queries=123
+        )
+        metrics.record_batch(_batch(0, 0.02))
+        metrics.record_batch(_batch(1, 0.2))
+        registry = metrics.as_registry()
+        snapshot = registry.as_dict()
+        assert snapshot["requests.total"] == 10.0
+        assert snapshot["requests.assigned"] == 8.0
+        assert snapshot["oracle.queries"] == 123.0
+        assert snapshot["sim.service_rate"] == pytest.approx(0.8)
+        assert snapshot["dispatch.batch_seconds.count"] == 2.0
+        assert snapshot["dispatch.batch_seconds.sum"] == pytest.approx(0.22)
+
+
+# --------------------------------------------------------------------- #
+# end-to-end instrumentation
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def traced_sard_run():
+    """One SARD simulation with tracing on (shared across assertions)."""
+    from repro.dispatch import make_dispatcher
+    from repro.simulation.engine import Simulator
+    from repro.workloads.presets import make_workload
+
+    workload = make_workload(
+        "nyc",
+        city_scale=0.4,
+        workload_overrides={"num_requests": 60, "num_vehicles": 10},
+    )
+    oracle = workload.fresh_oracle()
+    simulator = Simulator(
+        network=workload.network,
+        oracle=oracle,
+        vehicles=workload.fresh_vehicles(),
+        requests=list(workload.requests),
+        dispatcher=make_dispatcher("SARD"),
+        config=workload.simulation_config,
+        record_events=False,
+    )
+    with tracing(oracle=oracle, config=TraceConfig(oracle_sample_every=10)) as tracer:
+        result = simulator.run()
+    return result, tracer
+
+
+class TestInstrumentedSimulation:
+    def test_expected_stage_spans_present(self, traced_sard_run):
+        _, tracer = traced_sard_run
+        names = {record.name for record in tracer.records}
+        assert {
+            "sim.advance",
+            "scenario.step",
+            "dispatch.batch",
+            "sard.sync_graph",
+            "sard.build_queues",
+            "sard.rounds",
+            "sard.materialize",
+        } <= names
+
+    def test_stage_spans_account_for_dispatch_time(self, traced_sard_run):
+        """Acceptance gate: per-batch stage spans sum within 5% of the
+        batch's measured ``dispatch_seconds`` (aggregated over the run, and
+        per batch for every batch large enough to measure reliably)."""
+        result, tracer = traced_sard_run
+        batches = {record.index: record for record in result.metrics.batch_records}
+        total_stage = 0.0
+        for span in tracer.records:
+            if span.name != "dispatch.batch":
+                continue
+            stage_sum = sum(
+                child.duration for child in tracer.children_of(span.span_id)
+                if child.name.startswith("sard.")
+            )
+            total_stage += stage_sum
+            measured = batches[span.tags["batch"]].dispatch_seconds
+            if measured >= 0.005:  # sub-5ms batches are timer-noise bound
+                assert stage_sum == pytest.approx(measured, rel=0.05)
+        total_measured = result.metrics.dispatch_seconds
+        assert total_stage == pytest.approx(total_measured, rel=0.05)
+
+    def test_batch_spans_carry_sim_time_and_tags(self, traced_sard_run):
+        result, tracer = traced_sard_run
+        batch_spans = [r for r in tracer.records if r.name == "dispatch.batch"]
+        assert len(batch_spans) == result.metrics.num_batches
+        for span in batch_spans:
+            assert span.sim_time is not None
+            assert span.tags["algorithm"] == "SARD"
+            assert "pending" in span.tags and "vehicles" in span.tags
+
+    def test_sampled_oracle_events_recorded(self, traced_sard_run):
+        _, tracer = traced_sard_run
+        oracle_events = [
+            r for r in tracer.records
+            if r.name in ("oracle.query", "oracle.many_to_many")
+        ]
+        assert oracle_events
+        for event in oracle_events:
+            assert "backend" in event.tags
+            assert event.duration >= 0.0
+
+    def test_disabled_run_records_nothing(self):
+        from repro.dispatch import make_dispatcher
+        from repro.simulation.engine import Simulator
+        from repro.workloads.presets import make_workload
+
+        workload = make_workload(
+            "nyc",
+            city_scale=0.4,
+            workload_overrides={"num_requests": 20, "num_vehicles": 5},
+        )
+        assert get_tracer() is NULL_TRACER
+        simulator = Simulator(
+            network=workload.network,
+            oracle=workload.fresh_oracle(),
+            vehicles=workload.fresh_vehicles(),
+            requests=list(workload.requests),
+            dispatcher=make_dispatcher("SARD"),
+            config=workload.simulation_config,
+            record_events=False,
+        )
+        result = simulator.run()
+        assert result.metrics.total_requests == 20
+        assert get_tracer().records == ()
+
+    def test_set_query_tracing_rejects_negative_interval(self, oracle):
+        tracer = SpanTracer(clock=StepClock())
+        with pytest.raises(NetworkError):
+            oracle.set_query_tracing(tracer, every=-1)
+
+    def test_traced_and_untraced_costs_identical(self, grid_network):
+        plain = DistanceOracle(grid_network, cache_size=0)
+        traced = DistanceOracle(grid_network, cache_size=0)
+        tracer = SpanTracer(clock=StepClock())
+        traced.set_query_tracing(tracer, every=1)
+        nodes = list(grid_network.nodes())
+        for u in nodes[:6]:
+            for v in nodes[-6:]:
+                assert traced.cost(u, v) == plain.cost(u, v)
+        assert any(r.name == "oracle.query" for r in tracer.records)
+        traced.set_query_tracing(None)
+        tracer.clear()
+        assert traced.cost(nodes[0], nodes[-1]) == plain.cost(nodes[0], nodes[-1])
+        assert tracer.records == ()

@@ -8,12 +8,16 @@ normalisation and the failure modes (vanished backends, bad references).
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.experiments.regression import (
     compare_backend_tables,
     format_markdown,
+    load_backend_table,
+    parse_backend_json,
     parse_backend_table,
 )
 
@@ -46,6 +50,49 @@ class TestParsing:
     def test_empty_table_rejected(self):
         with pytest.raises(ConfigurationError):
             parse_backend_table("no rows here\njust prose\n")
+
+    def test_parses_json_query_us_map(self):
+        payload = {"benchmark": "oracle_backends", "query_us": _table()}
+        assert parse_backend_json(json.dumps(payload)) == _table()
+
+    def test_parses_json_rows_fallback(self):
+        payload = {
+            "rows": [
+                {"backend": name, "query_us": us, "build_ms": 1.0}
+                for name, us in _table().items()
+            ]
+        }
+        assert parse_backend_json(json.dumps(payload)) == _table()
+
+    def test_json_failure_modes(self):
+        with pytest.raises(ConfigurationError):
+            parse_backend_json("not json at all {")
+        with pytest.raises(ConfigurationError):
+            parse_backend_json("[1, 2, 3]")
+        with pytest.raises(ConfigurationError):
+            parse_backend_json('{"rows": []}')
+
+
+class TestLoadBackendTable:
+    def test_json_path_parses_directly(self, tmp_path):
+        path = tmp_path / "oracle_backends.json"
+        path.write_text(json.dumps({"query_us": _table()}))
+        assert load_backend_table(path) == _table()
+
+    def test_sibling_json_preferred_over_txt(self, tmp_path):
+        """CI passes the .txt path; the .json twin must win when present."""
+        txt = tmp_path / "oracle_backends.txt"
+        txt.write_text(SAMPLE_TABLE)
+        json_table = _table(ch=12.3)  # differs from the text so we can tell
+        (tmp_path / "oracle_backends.json").write_text(
+            json.dumps({"query_us": json_table})
+        )
+        assert load_backend_table(txt) == json_table
+
+    def test_txt_fallback_without_sibling(self, tmp_path):
+        txt = tmp_path / "oracle_backends.txt"
+        txt.write_text(SAMPLE_TABLE)
+        assert load_backend_table(txt) == _table()
 
 
 class TestComparison:
