@@ -23,18 +23,50 @@ Run it as ``repro-lint src tests benchmarks`` (console script) or
 """
 
 from .baseline import Baseline
-from .engine import FileReport, analyze_path, analyze_paths, iter_python_files
+from .callgraph import CallGraph, build_call_graph
+from .effects import EffectMap, classify, infer_effects
+from .engine import (
+    FileReport,
+    analyze_path,
+    analyze_paths,
+    analyze_project,
+    attach_semantic,
+    iter_python_files,
+)
 from .rules import RULES, Fix, Rule, Violation, rule_catalog
+from .semantic_rules import (
+    SEMANTIC_RULES,
+    ProjectAnalysis,
+    build_project,
+    call_graph_dot,
+    call_graph_json,
+    run_semantic_rules,
+    summary_tables,
+)
 
 __all__ = [
     "RULES",
+    "SEMANTIC_RULES",
     "Baseline",
+    "CallGraph",
+    "EffectMap",
     "FileReport",
     "Fix",
+    "ProjectAnalysis",
     "Rule",
     "Violation",
     "analyze_path",
     "analyze_paths",
+    "analyze_project",
+    "attach_semantic",
+    "build_call_graph",
+    "build_project",
+    "call_graph_dot",
+    "call_graph_json",
+    "classify",
+    "infer_effects",
     "iter_python_files",
     "rule_catalog",
+    "run_semantic_rules",
+    "summary_tables",
 ]

@@ -1,0 +1,803 @@
+"""Project call-graph builder for the semantic analysis pass.
+
+Builds a whole-program view of ``src/repro/`` from the per-file ASTs the
+lexical pass already parsed: which modules define which classes and
+functions, who inherits from whom, and -- the part no per-file rule can see
+-- which function calls which.  Resolution is *bounded alias tracking*, not
+type inference: parameter/attribute annotations, ``self.attr = <annotated
+param>`` constructor assignments and ``x = ClassName(...)`` locals give each
+expression a best-effort nominal type, and method calls resolve against
+that type's class plus every subclass override (a dynamic-dispatch union).
+
+Everything that cannot be resolved is recorded as an *unresolved* call site
+carrying the receiver's trailing identifier (``self.oracle.cost`` ->
+``oracle``/``cost``), which the effect engine matches against well-known
+receiver-name conventions.  Known unsoundness is documented in
+DESIGN.md: registry-driven dynamic dispatch (``REFRESH_POLICIES``-style
+string lookups), monkey-patching, and callables passed as values are
+invisible to the graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from .rules import FileContext
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "GlobalBinding",
+    "ModuleInfo",
+    "TypeRef",
+    "build_call_graph",
+    "module_name_for",
+]
+
+#: Maximum alias-chain hops followed while resolving an imported name.
+_RESOLVE_FUEL = 16
+
+#: Container constructors whose values are mutable (CONC-rule relevance).
+MUTABLE_CONSTRUCTORS = frozenset(
+    {"dict", "list", "set", "bytearray", "defaultdict", "deque", "Counter", "OrderedDict"}
+)
+
+#: Subscripted annotation heads treated as sequences of their first argument.
+_SEQUENCE_HEADS = frozenset(
+    {"list", "List", "tuple", "Tuple", "set", "Set", "frozenset", "FrozenSet",
+     "Sequence", "Iterable", "Iterator", "Collection", "deque"}
+)
+_MAPPING_HEADS = frozenset({"dict", "Dict", "Mapping", "MutableMapping", "defaultdict"})
+_OPTIONAL_HEADS = frozenset({"Optional"})
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """Best-effort nominal type of an expression.
+
+    ``qualname`` is a resolved project class; containers carry the element
+    type reached by iteration (``elem``) and, for mappings, the value type
+    reached by subscription (``value``).
+    """
+
+    qualname: str | None = None
+    elem: "TypeRef | None" = None
+    value: "TypeRef | None" = None
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qualname: str
+    module: str
+    cls: str | None  # owning class qualname, None for module-level functions
+    name: str
+    path: str
+    lineno: int
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+
+    @property
+    def docstring(self) -> str:
+        return ast.get_docstring(self.node) or ""
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with resolved bases and attribute types."""
+
+    qualname: str
+    module: str
+    name: str
+    path: str
+    lineno: int
+    bases_raw: list[str] = field(default_factory=list)
+    bases: list[str] = field(default_factory=list)  # resolved class qualnames
+    methods: dict[str, str] = field(default_factory=dict)  # name -> fn qualname
+    attr_types: dict[str, TypeRef] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class GlobalBinding:
+    """A module-level name binding (CONC001 raw material)."""
+
+    module: str
+    name: str
+    path: str
+    line: int
+    mutable_value: bool
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression, resolved as far as alias tracking allows."""
+
+    caller: str  # qualname of the enclosing indexed function
+    line: int
+    col: int
+    targets: tuple[str, ...]  # resolved function qualnames (dynamic union)
+    receiver_hint: str  # trailing identifier of the receiver ("" for plain names)
+    method: str  # called attribute / function name
+    in_nested: bool  # inside a nested def/lambda (deferred execution)
+
+
+@dataclass
+class ModuleInfo:
+    """Per-module symbol tables feeding resolution."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    is_package: bool
+    imports: dict[str, str] = field(default_factory=dict)  # alias -> absolute dotted
+    symbols: dict[str, str] = field(default_factory=dict)  # top-level name -> qualname
+    globals_: dict[str, GlobalBinding] = field(default_factory=dict)
+
+
+def module_name_for(path: str, src_prefix: str = "src/") -> str | None:
+    """``src/repro/a/b.py`` -> ``repro.a.b`` (``__init__.py`` -> package)."""
+    if not path.endswith(".py") or not path.startswith(src_prefix):
+        return None
+    trimmed = path.removeprefix(src_prefix)
+    parts = trimmed[: -len(".py")].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts or not all(part.isidentifier() for part in parts):
+        return None
+    return ".".join(parts)
+
+
+def _dotted_text(node: ast.expr) -> str:
+    """``a.b.c`` attribute chain as text ("" when not a plain chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _trailing_name(node: ast.expr) -> str:
+    """Last identifier of a receiver expression, underscores stripped."""
+    if isinstance(node, ast.Attribute):
+        return node.attr.lstrip("_")
+    if isinstance(node, ast.Name):
+        return node.id.lstrip("_")
+    if isinstance(node, ast.Call):
+        return _trailing_name(node.func)
+    return ""
+
+
+def _is_mutable_value(node: ast.expr | None) -> bool:
+    """Syntactically mutable container value (list/dict/set and kin)."""
+    if node is None:
+        return False
+    if isinstance(node, (ast.List, ast.ListComp, ast.Dict, ast.DictComp, ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        return name in MUTABLE_CONSTRUCTORS
+    return False
+
+
+class CallGraph:
+    """Resolved project call graph plus the symbol tables behind it."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.calls: dict[str, list[CallSite]] = {}
+        self.subclasses: dict[str, set[str]] = {}
+        self.callers: dict[str, set[str]] = {}
+
+    # ------------------------------------------------------------------ #
+    # symbol resolution
+    # ------------------------------------------------------------------ #
+    def resolve_symbol(self, dotted: str) -> str | None:
+        """Follow import/re-export aliases to a definition qualname."""
+        seen: set[str] = set()
+        current = dotted
+        for _ in range(_RESOLVE_FUEL):
+            if current in seen:
+                return None
+            seen.add(current)
+            if current in self.functions or current in self.classes:
+                return current
+            redirected = self._redirect(current)
+            if redirected is None:
+                return None
+            current = redirected
+        return None
+
+    def _redirect(self, dotted: str) -> str | None:
+        """One alias hop: ``pkg.re_export`` -> its import target."""
+        head, _, tail = dotted.rpartition(".")
+        module = self.modules.get(head)
+        if module is not None and tail:
+            if tail in module.imports:
+                return module.imports[tail]
+            if tail in module.symbols:
+                target = module.symbols[tail]
+                return target if target != dotted else None
+        # Try progressively shorter module prefixes ("repro.a.b.C.m").
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            module = self.modules.get(prefix)
+            if module is None:
+                continue
+            rest = parts[cut:]
+            if rest[0] in module.imports:
+                return ".".join([module.imports[rest[0]], *rest[1:]])
+            if rest[0] in module.symbols:
+                target = module.symbols[rest[0]]
+                return ".".join([target, *rest[1:]])
+            return None
+        return None
+
+    def resolve_class(self, dotted: str) -> ClassInfo | None:
+        resolved = self.resolve_symbol(dotted)
+        return self.classes.get(resolved) if resolved else None
+
+    # ------------------------------------------------------------------ #
+    # class hierarchy
+    # ------------------------------------------------------------------ #
+    def mro(self, class_qualname: str) -> Iterator[ClassInfo]:
+        """Best-effort linearisation: the class then its bases, depth-first."""
+        seen: set[str] = set()
+        stack = [class_qualname]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            yield info
+            stack.extend(info.bases)
+
+    def transitive_subclasses(self, class_qualname: str) -> set[str]:
+        result: set[str] = set()
+        stack = [class_qualname]
+        while stack:
+            for sub in self.subclasses.get(stack.pop(), ()):
+                if sub not in result:
+                    result.add(sub)
+                    stack.append(sub)
+        return result
+
+    def inherits_from(self, class_qualname: str, base_name: str) -> bool:
+        """Does the class derive (transitively) from a class *named* base_name?"""
+        return any(info.name == base_name for info in self.mro(class_qualname))
+
+    def resolve_method(self, class_qualname: str, method: str) -> str | None:
+        """Static lookup: first definition of *method* along the MRO."""
+        for info in self.mro(class_qualname):
+            if method in info.methods:
+                return info.methods[method]
+        return None
+
+    def resolve_method_union(self, class_qualname: str, method: str) -> tuple[str, ...]:
+        """Dynamic-dispatch union: static target plus subclass overrides."""
+        targets: list[str] = []
+        static = self.resolve_method(class_qualname, method)
+        if static is not None:
+            targets.append(static)
+        for sub in sorted(self.transitive_subclasses(class_qualname)):
+            info = self.classes.get(sub)
+            if info is not None and method in info.methods:
+                if info.methods[method] not in targets:
+                    targets.append(info.methods[method])
+        return tuple(targets)
+
+    def attr_type(self, class_qualname: str, attr: str) -> TypeRef | None:
+        """Declared/inferred type of an attribute along the MRO."""
+        for info in self.mro(class_qualname):
+            if attr in info.attr_types:
+                return info.attr_types[attr]
+        return None
+
+    def fan_in(self) -> dict[str, int]:
+        """Number of distinct callers per function."""
+        return {qualname: len(callers) for qualname, callers in self.callers.items()}
+
+
+# --------------------------------------------------------------------------- #
+# build pass
+# --------------------------------------------------------------------------- #
+
+
+def build_call_graph(contexts: list[FileContext], src_prefix: str = "src/") -> CallGraph:
+    """Index every module then resolve call sites in a second pass."""
+    graph = CallGraph()
+    indexed: list[tuple[ModuleInfo, FileContext]] = []
+    for ctx in contexts:
+        name = module_name_for(ctx.path, src_prefix)
+        if name is None:
+            continue
+        module = ModuleInfo(
+            name=name,
+            path=ctx.path,
+            tree=ctx.tree,
+            is_package=ctx.path.endswith("__init__.py"),
+        )
+        graph.modules[name] = module
+        indexed.append((module, ctx))
+
+    for module, _ctx in indexed:
+        _index_module(graph, module)
+    _resolve_bases(graph)
+    for module, _ctx in indexed:
+        _infer_attribute_types(graph, module)
+    for module, _ctx in indexed:
+        _resolve_calls(graph, module)
+    return graph
+
+
+def _index_module(graph: CallGraph, module: ModuleInfo) -> None:
+    for node in module.tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                module.imports[bound] = target
+        elif isinstance(node, ast.ImportFrom):
+            base = _import_base(module, node)
+            if base is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                module.imports[bound] = f"{base}.{alias.name}" if base else alias.name
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _index_function(graph, module, node, cls=None)
+        elif isinstance(node, ast.ClassDef):
+            _index_class(graph, module, node)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            value = node.value
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                # `X = Y` aliases re-export; other values become globals.
+                aliased = _dotted_text(value) if value is not None else ""
+                if aliased:
+                    module.symbols.setdefault(target.id, f"{module.name}.{aliased}")
+                module.globals_[target.id] = GlobalBinding(
+                    module=module.name,
+                    name=target.id,
+                    path=module.path,
+                    line=target.lineno,
+                    mutable_value=_is_mutable_value(value),
+                )
+
+
+def _import_base(module: ModuleInfo, node: ast.ImportFrom) -> str | None:
+    if node.level == 0:
+        return node.module
+    package_parts = module.name.split(".")
+    if not module.is_package:
+        package_parts = package_parts[:-1]
+    ascend = node.level - 1
+    if ascend > len(package_parts):
+        return None
+    if ascend:
+        package_parts = package_parts[:-ascend]
+    if node.module:
+        package_parts = [*package_parts, node.module]
+    return ".".join(package_parts) if package_parts else None
+
+
+def _index_function(
+    graph: CallGraph,
+    module: ModuleInfo,
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    cls: ClassInfo | None,
+) -> None:
+    if cls is None:
+        qualname = f"{module.name}.{node.name}"
+        module.symbols[node.name] = qualname
+    else:
+        qualname = f"{cls.qualname}.{node.name}"
+        cls.methods[node.name] = qualname
+    graph.functions[qualname] = FunctionInfo(
+        qualname=qualname,
+        module=module.name,
+        cls=cls.qualname if cls is not None else None,
+        name=node.name,
+        path=module.path,
+        lineno=node.lineno,
+        node=node,
+    )
+
+
+def _index_class(graph: CallGraph, module: ModuleInfo, node: ast.ClassDef) -> None:
+    qualname = f"{module.name}.{node.name}"
+    info = ClassInfo(
+        qualname=qualname,
+        module=module.name,
+        name=node.name,
+        path=module.path,
+        lineno=node.lineno,
+        bases_raw=[text for base in node.bases if (text := _dotted_text(base))],
+    )
+    graph.classes[qualname] = info
+    module.symbols[node.name] = qualname
+    for child in node.body:
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _index_function(graph, module, child, cls=info)
+
+
+def _resolve_bases(graph: CallGraph) -> None:
+    for info in graph.classes.values():
+        for raw in info.bases_raw:
+            module = graph.modules.get(info.module)
+            resolved = _resolve_in_module(graph, module, raw) if module else None
+            if resolved is not None and resolved in graph.classes:
+                info.bases.append(resolved)
+                graph.subclasses.setdefault(resolved, set()).add(info.qualname)
+
+
+def _resolve_in_module(graph: CallGraph, module: ModuleInfo | None, dotted: str) -> str | None:
+    """Resolve a dotted name as seen from inside *module*."""
+    if module is None or not dotted:
+        return None
+    head, _, rest = dotted.partition(".")
+    if head in module.imports:
+        absolute = module.imports[head] + (f".{rest}" if rest else "")
+    elif head in module.symbols:
+        absolute = module.symbols[head] + (f".{rest}" if rest else "")
+    else:
+        absolute = dotted
+    return graph.resolve_symbol(absolute)
+
+
+# --------------------------------------------------------------------------- #
+# attribute types (bounded alias tracking)
+# --------------------------------------------------------------------------- #
+
+
+def _infer_attribute_types(graph: CallGraph, module: ModuleInfo) -> None:
+    for node in module.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        info = graph.classes[f"{module.name}.{node.name}"]
+        # Class-body annotations (dataclass fields) come first and win.
+        for child in node.body:
+            if isinstance(child, ast.AnnAssign) and isinstance(child.target, ast.Name):
+                ref = _annotation_type(graph, module, child.annotation)
+                if ref is not None:
+                    info.attr_types.setdefault(child.target.id, ref)
+        # `self.attr = <annotated param>` / `= ClassName(...)` in any method.
+        for child in node.body:
+            if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            env = _parameter_env(graph, module, child, info)
+            for stmt in ast.walk(child):
+                target_attr: ast.Attribute | None = None
+                value: ast.expr | None = None
+                annotation: ast.expr | None = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    if isinstance(stmt.targets[0], ast.Attribute):
+                        target_attr, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Attribute):
+                    target_attr, value, annotation = stmt.target, stmt.value, stmt.annotation
+                if target_attr is None:
+                    continue
+                if not (
+                    isinstance(target_attr.value, ast.Name) and target_attr.value.id == "self"
+                ):
+                    continue
+                ref: TypeRef | None = None
+                if annotation is not None:
+                    ref = _annotation_type(graph, module, annotation)
+                if ref is None and value is not None:
+                    ref = _infer_expr_type(graph, module, value, env, info)
+                if ref is not None:
+                    info.attr_types.setdefault(target_attr.attr, ref)
+
+
+def _annotation_type(
+    graph: CallGraph, module: ModuleInfo, node: ast.expr | None
+) -> TypeRef | None:
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            parsed = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+        return _annotation_type(graph, module, parsed)
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        dotted = _dotted_text(node)
+        resolved = _resolve_in_module(graph, module, dotted)
+        if resolved is not None and resolved in graph.classes:
+            return TypeRef(qualname=resolved)
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # `T | None`: prefer whichever side resolves.
+        return _annotation_type(graph, module, node.left) or _annotation_type(
+            graph, module, node.right
+        )
+    if isinstance(node, ast.Subscript):
+        head = _dotted_text(node.value).rpartition(".")[2]
+        inner = node.slice
+        elements = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        if head in _OPTIONAL_HEADS:
+            return _annotation_type(graph, module, elements[0])
+        if head in _SEQUENCE_HEADS and elements:
+            return TypeRef(elem=_annotation_type(graph, module, elements[0]))
+        if head in _MAPPING_HEADS and len(elements) == 2:
+            return TypeRef(
+                elem=_annotation_type(graph, module, elements[0]),
+                value=_annotation_type(graph, module, elements[1]),
+            )
+        return None
+    return None
+
+
+def _parameter_env(
+    graph: CallGraph,
+    module: ModuleInfo,
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    cls: ClassInfo | None,
+) -> dict[str, TypeRef]:
+    env: dict[str, TypeRef] = {}
+    args = node.args
+    all_args = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    for arg in all_args:
+        ref = _annotation_type(graph, module, arg.annotation)
+        if ref is not None:
+            env[arg.arg] = ref
+    if cls is not None and all_args:
+        first = all_args[0].arg
+        if first in {"self", "cls"}:
+            env[first] = TypeRef(qualname=cls.qualname)
+    return env
+
+
+def _infer_expr_type(
+    graph: CallGraph,
+    module: ModuleInfo,
+    node: ast.expr,
+    env: dict[str, TypeRef],
+    cls: ClassInfo | None,
+    depth: int = 0,
+) -> TypeRef | None:
+    if depth > 6:
+        return None
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if isinstance(node, ast.Attribute):
+        base = _infer_expr_type(graph, module, node.value, env, cls, depth + 1)
+        if base is not None and base.qualname is not None:
+            attr_ref = graph.attr_type(base.qualname, node.attr)
+            if attr_ref is not None:
+                return attr_ref
+            # A @property (or plain method used as value) types as its return.
+            method = graph.resolve_method(base.qualname, node.attr)
+            if method is not None:
+                fn = graph.functions[method]
+                owner = graph.modules.get(fn.module)
+                if owner is not None:
+                    return _annotation_type(graph, owner, fn.node.returns)
+        return None
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) or isinstance(func, ast.Attribute):
+            # Constructor call?
+            dotted = _dotted_text(func)
+            if dotted:
+                resolved = _resolve_in_module(graph, module, dotted)
+                if resolved is not None and resolved in graph.classes:
+                    return TypeRef(qualname=resolved)
+                if resolved is not None and resolved in graph.functions:
+                    fn = graph.functions[resolved]
+                    owner = graph.modules.get(fn.module)
+                    if owner is not None:
+                        return _annotation_type(graph, owner, fn.node.returns)
+        if isinstance(func, ast.Attribute):
+            base = _infer_expr_type(graph, module, func.value, env, cls, depth + 1)
+            if base is not None and base.qualname is not None:
+                method = graph.resolve_method(base.qualname, func.attr)
+                if method is not None:
+                    fn = graph.functions[method]
+                    owner = graph.modules.get(fn.module)
+                    if owner is not None:
+                        return _annotation_type(graph, owner, fn.node.returns)
+            if base is not None and func.attr in {"get", "pop", "setdefault"}:
+                return base.value
+        return None
+    if isinstance(node, ast.Subscript):
+        base = _infer_expr_type(graph, module, node.value, env, cls, depth + 1)
+        if base is not None:
+            return base.value or base.elem
+        return None
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# call resolution
+# --------------------------------------------------------------------------- #
+
+
+def _resolve_calls(graph: CallGraph, module: ModuleInfo) -> None:
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _resolve_function_calls(graph, module, node, cls=None)
+        elif isinstance(node, ast.ClassDef):
+            info = graph.classes[f"{module.name}.{node.name}"]
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    _resolve_function_calls(graph, module, child, cls=info)
+
+
+def _resolve_function_calls(
+    graph: CallGraph,
+    module: ModuleInfo,
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    cls: ClassInfo | None,
+) -> None:
+    caller = (
+        f"{cls.qualname}.{node.name}" if cls is not None else f"{module.name}.{node.name}"
+    )
+    env = _parameter_env(graph, module, node, cls)
+    sites: list[CallSite] = []
+    _scan_statements(graph, module, cls, caller, node.body, env, sites, nested=False)
+    graph.calls[caller] = sites
+    for site in sites:
+        for target in site.targets:
+            graph.callers.setdefault(target, set()).add(caller)
+
+
+def _scan_statements(
+    graph: CallGraph,
+    module: ModuleInfo,
+    cls: ClassInfo | None,
+    caller: str,
+    stmts: list[ast.stmt],
+    env: dict[str, TypeRef],
+    sites: list[CallSite],
+    nested: bool,
+) -> None:
+    """Walk statements in order, updating the local type environment."""
+    for stmt in stmts:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs: calls attributed to the enclosing function but
+            # flagged `in_nested` (deferred execution).
+            inner_env = dict(env)
+            inner_env.update(_parameter_env(graph, module, stmt, None))
+            _scan_statements(
+                graph, module, cls, caller, stmt.body, inner_env, sites, nested=True
+            )
+            continue
+        for expr in _expressions_of(stmt):
+            _scan_expression(graph, module, cls, caller, expr, env, sites, nested)
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                ref = _infer_expr_type(graph, module, stmt.value, env, cls)
+                if ref is not None:
+                    env[target.id] = ref
+                else:
+                    env.pop(target.id, None)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            ref = _annotation_type(graph, module, stmt.annotation)
+            if ref is not None:
+                env[stmt.target.id] = ref
+        elif isinstance(stmt, ast.For) and isinstance(stmt.target, ast.Name):
+            iter_ref = _infer_expr_type(graph, module, stmt.iter, env, cls)
+            if iter_ref is not None and iter_ref.elem is not None:
+                env[stmt.target.id] = iter_ref.elem
+            else:
+                env.pop(stmt.target.id, None)
+        # Recurse into compound statement bodies.
+        for body in _bodies_of(stmt):
+            _scan_statements(graph, module, cls, caller, body, env, sites, nested)
+
+
+def _bodies_of(stmt: ast.stmt) -> Iterator[list[ast.stmt]]:
+    for attr in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, attr, None)
+        if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+            yield block
+    for handler in getattr(stmt, "handlers", []):
+        yield handler.body
+
+
+def _expressions_of(stmt: ast.stmt) -> Iterator[ast.expr]:
+    """Expressions evaluated directly by *stmt* (not nested statements)."""
+    for field_name, value in ast.iter_fields(stmt):
+        if field_name in {"body", "orelse", "finalbody", "handlers"}:
+            continue
+        if isinstance(value, ast.expr):
+            yield value
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.expr):
+                    yield item
+
+
+def _scan_expression(
+    graph: CallGraph,
+    module: ModuleInfo,
+    cls: ClassInfo | None,
+    caller: str,
+    expr: ast.expr,
+    env: dict[str, TypeRef],
+    sites: list[CallSite],
+    nested: bool,
+) -> None:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Lambda):
+            continue  # body walked anyway; calls inside share `nested` flag
+        if not isinstance(node, ast.Call):
+            continue
+        site = _resolve_call(graph, module, cls, caller, node, env, nested)
+        if site is not None:
+            sites.append(site)
+
+
+def _resolve_call(
+    graph: CallGraph,
+    module: ModuleInfo,
+    cls: ClassInfo | None,
+    caller: str,
+    call: ast.Call,
+    env: dict[str, TypeRef],
+    nested: bool,
+) -> CallSite | None:
+    func = call.func
+    targets: tuple[str, ...] = ()
+    receiver_hint = ""
+    method = ""
+    if isinstance(func, ast.Name):
+        method = func.id
+        resolved = _resolve_in_module(graph, module, func.id)
+        if resolved is not None:
+            if resolved in graph.functions:
+                targets = (resolved,)
+            elif resolved in graph.classes:
+                init = graph.resolve_method(resolved, "__init__")
+                targets = (init,) if init is not None else ()
+                method = "__init__"
+                receiver_hint = graph.classes[resolved].name
+    elif isinstance(func, ast.Attribute):
+        method = func.attr
+        receiver = func.value
+        receiver_hint = _trailing_name(receiver)
+        dotted = _dotted_text(func)
+        resolved = _resolve_in_module(graph, module, dotted) if dotted else None
+        if resolved is not None and resolved in graph.functions:
+            targets = (resolved,)
+        elif resolved is not None and resolved in graph.classes:
+            init = graph.resolve_method(resolved, "__init__")
+            targets = (init,) if init is not None else ()
+            method = "__init__"
+        else:
+            base = _infer_expr_type(graph, module, receiver, env, cls)
+            if base is not None and base.qualname is not None:
+                targets = graph.resolve_method_union(base.qualname, method)
+    else:
+        return None
+    return CallSite(
+        caller=caller,
+        line=call.lineno,
+        col=call.col_offset,
+        targets=targets,
+        receiver_hint=receiver_hint,
+        method=method,
+        in_nested=nested,
+    )

@@ -15,14 +15,21 @@ waived ones are suppressed), 1 otherwise.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections import Counter
 from pathlib import Path
 
 from .baseline import Baseline
-from .engine import FileReport, analyze_paths
+from .engine import FileReport, analyze_project
 from .fixes import apply_fixes
-from .rules import RULES, Violation, rule_catalog
+from .rules import Violation, rule_catalog
+from .semantic_rules import (
+    ProjectAnalysis,
+    call_graph_dot,
+    call_graph_json,
+    summary_tables,
+)
 
 __all__ = ["main"]
 
@@ -79,6 +86,19 @@ def _parser() -> argparse.ArgumentParser:
         default=None,
         help="write a markdown rule-hit summary table to this file (append)",
     )
+    parser.add_argument(
+        "--call-graph",
+        type=Path,
+        default=None,
+        metavar="OUT",
+        help="export the project call graph (+effects) -- JSON, or GraphViz "
+        "DOT when OUT ends in .dot/.gv",
+    )
+    parser.add_argument(
+        "--no-semantic",
+        action="store_true",
+        help="skip the interprocedural pass (call graph, effects, ORA/CONC/PUR rules)",
+    )
     return parser
 
 
@@ -93,7 +113,7 @@ def _statistics(reports: list[FileReport], new: list[Violation]) -> list[tuple[s
     """(code, total hits, new hits) for every rule, catalog order."""
     total = Counter(v.code for report in reports for v in report.violations)
     fresh = Counter(v.code for v in new)
-    rows = [(rule.code, total.pop(rule.code, 0), fresh.get(rule.code, 0)) for rule in RULES]
+    rows = [(code, total.pop(code, 0), fresh.get(code, 0)) for code, _fix, _s in rule_catalog()]
     rows.extend((code, count, fresh.get(code, 0)) for code, count in sorted(total.items()))
     return rows
 
@@ -112,6 +132,7 @@ def _write_summary(
     new: list[Violation],
     waiver_count: int,
     files: int,
+    project: ProjectAnalysis | None = None,
 ) -> None:
     summaries = {code: summary for code, _fixable, summary in rule_catalog()}
     lines = [
@@ -129,9 +150,22 @@ def _write_summary(
         lines += [f"- `{violation.render()}`" for violation in new[:50]]
         if len(new) > 50:
             lines.append(f"- … and {len(new) - 50} more")
+    if project is not None:
+        lines += ["", summary_tables(project)]
     lines.append("")
     with path.open("a", encoding="utf-8") as handle:
         handle.write("\n".join(lines))
+
+
+def _export_call_graph(path: Path, project: ProjectAnalysis) -> None:
+    if path.suffix in {".dot", ".gv"}:
+        path.write_text(call_graph_dot(project), encoding="utf-8")
+    else:
+        path.write_text(
+            json.dumps(call_graph_json(project), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    print(f"call graph written to {path}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -150,13 +184,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro-lint: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
 
-    reports = analyze_paths(paths, root)
+    semantic = not args.no_semantic
+    reports, project = analyze_project(paths, root, semantic=semantic)
     if args.fix:
         applied = apply_fixes(reports, root)
         for rel, count in sorted(applied.items()):
             print(f"fixed {count} violation(s) in {rel}")
         # Re-analyze so the report reflects the post-fix tree.
-        reports = analyze_paths(paths, root)
+        reports, project = analyze_project(paths, root, semantic=semantic)
+
+    if args.call_graph is not None:
+        if project is None:
+            print("repro-lint: no src/repro files analyzed; call graph not written", file=sys.stderr)
+        else:
+            _export_call_graph(args.call_graph, project)
 
     baseline_path = args.baseline or (root / DEFAULT_BASELINE)
     if args.write_baseline:
@@ -180,7 +221,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.statistics:
         _print_statistics(rows, waiver_count)
     if args.summary is not None:
-        _write_summary(args.summary, rows, new, waiver_count, files=len(reports))
+        _write_summary(args.summary, rows, new, waiver_count, files=len(reports), project=project)
 
     if new:
         print(f"\nrepro-lint: {len(new)} new violation(s) in {len(reports)} file(s)")

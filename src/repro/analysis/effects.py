@@ -1,0 +1,312 @@
+"""Effect inference over the project call graph.
+
+Classifies every function as *pure*, *reads-state* or *mutates-state* and,
+orthogonally, tracks the three domain effects the semantic rules reason
+about: mutating the :class:`~repro.network.road_network.RoadNetwork`,
+querying the :class:`~repro.network.shortest_path.DistanceOracle`, and
+refreshing it (rebuild / repair / fallback).  Local effects come from a
+syntactic scan of each function body; they then propagate transitively
+over the call graph with a worklist fixpoint, so a dispatcher that calls a
+helper that calls ``network.remove_edge`` is itself a network mutator.
+
+Functions with a *known signature* (the oracle/network seam) are effect
+leaves: their declared signature is authoritative and their bodies are not
+scanned, so the oracle's internal memoisation (query cache, statistics
+counters) does not leak a ``mutates-state`` classification into every
+caller that merely prices a route.
+
+Unresolved call sites fall back to receiver-name conventions
+(``...oracle.cost`` counts as an oracle query even when the receiver's
+type is unknown) -- bounded, documented, and only applied when alias
+tracking failed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .callgraph import CallGraph, CallSite, FunctionInfo
+
+__all__ = [
+    "EFFECT_NAMES",
+    "EffectMap",
+    "MUTATES_MODULE",
+    "MUTATES_NETWORK",
+    "MUTATES_STATE",
+    "QUERIES_ORACLE",
+    "READS_STATE",
+    "REFRESHES_ORACLE",
+    "Witness",
+    "classify",
+    "infer_effects",
+]
+
+MUTATES_NETWORK = "mutates_network"
+QUERIES_ORACLE = "queries_oracle"
+REFRESHES_ORACLE = "refreshes_oracle"
+MUTATES_STATE = "mutates_state"
+MUTATES_MODULE = "mutates_module"
+READS_STATE = "reads_state"
+
+EFFECT_NAMES: tuple[str, ...] = (
+    MUTATES_NETWORK,
+    QUERIES_ORACLE,
+    REFRESHES_ORACLE,
+    MUTATES_STATE,
+    MUTATES_MODULE,
+    READS_STATE,
+)
+
+#: Known effect signatures, matched by ``Class.method`` qualname suffix.
+#: These are the oracle/network seam: authoritative leaves of the analysis.
+KNOWN_SIGNATURES: dict[str, frozenset[str]] = {
+    "RoadNetwork.add_node": frozenset({MUTATES_NETWORK, MUTATES_STATE}),
+    "RoadNetwork.add_edge": frozenset({MUTATES_NETWORK, MUTATES_STATE}),
+    "RoadNetwork.remove_edge": frozenset({MUTATES_NETWORK, MUTATES_STATE}),
+    "DistanceOracle.cost": frozenset({QUERIES_ORACLE, READS_STATE}),
+    "DistanceOracle.path": frozenset({QUERIES_ORACLE, READS_STATE}),
+    "DistanceOracle.many_to_many": frozenset({QUERIES_ORACLE, READS_STATE}),
+    "DistanceOracle.prefetch": frozenset({QUERIES_ORACLE, READS_STATE}),
+    "DistanceOracle.route_cost": frozenset({QUERIES_ORACLE, READS_STATE}),
+    "DistanceOracle.__init__": frozenset({REFRESHES_ORACLE, MUTATES_STATE}),
+    "DistanceOracle.rebuild": frozenset({REFRESHES_ORACLE, MUTATES_STATE}),
+    "DistanceOracle.repair": frozenset({REFRESHES_ORACLE, MUTATES_STATE}),
+    "DistanceOracle.enable_fallback": frozenset({REFRESHES_ORACLE, MUTATES_STATE}),
+}
+
+#: Receiver-name fallback for call sites alias tracking could not resolve.
+NETWORK_RECEIVERS = frozenset({"network", "road_network", "net"})
+ORACLE_RECEIVER_SUFFIX = "oracle"
+NETWORK_MUTATOR_METHODS = frozenset({"add_node", "add_edge", "remove_edge"})
+ORACLE_QUERY_METHODS = frozenset({"cost", "path", "many_to_many", "prefetch", "route_cost"})
+ORACLE_REFRESH_METHODS = frozenset({"rebuild", "repair", "enable_fallback"})
+
+#: In-place container mutators (list/set/dict/deque vocabulary).
+_CONTAINER_MUTATORS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "clear", "sort", "reverse",
+        "add", "discard", "update", "setdefault", "popitem", "appendleft", "popleft",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Witness:
+    """Where an effect entered a function (for diagnostics)."""
+
+    line: int
+    detail: str
+
+
+@dataclass
+class FunctionEffects:
+    """Inferred effect set plus one witness per effect."""
+
+    effects: set[str] = field(default_factory=set)
+    witnesses: dict[str, Witness] = field(default_factory=dict)
+    #: Module-level global names this function reads / writes.
+    module_reads: set[str] = field(default_factory=set)
+    module_writes: set[str] = field(default_factory=set)
+    seeded: bool = False
+
+    def absorb(self, effect: str, witness: Witness) -> bool:
+        if effect in self.effects:
+            return False
+        self.effects.add(effect)
+        self.witnesses.setdefault(effect, witness)
+        return True
+
+
+EffectMap = dict[str, FunctionEffects]
+
+
+def known_signature(qualname: str) -> frozenset[str] | None:
+    for suffix, effects in KNOWN_SIGNATURES.items():
+        if qualname == suffix or qualname.endswith("." + suffix):
+            return effects
+    return None
+
+
+def fallback_effects(site: CallSite) -> frozenset[str]:
+    """Receiver-name convention effects for an unresolved call site."""
+    hint = site.receiver_hint.lower()
+    if hint.endswith(ORACLE_RECEIVER_SUFFIX):
+        if site.method in ORACLE_QUERY_METHODS:
+            return frozenset({QUERIES_ORACLE})
+        if site.method in ORACLE_REFRESH_METHODS:
+            return frozenset({REFRESHES_ORACLE})
+    if hint in NETWORK_RECEIVERS and site.method in NETWORK_MUTATOR_METHODS:
+        return frozenset({MUTATES_NETWORK})
+    return frozenset()
+
+
+def classify(effects: set[str]) -> str:
+    """Three-point lattice label: pure < reads-state < mutates-state."""
+    if effects & {MUTATES_NETWORK, MUTATES_STATE, MUTATES_MODULE}:
+        return "mutates-state"
+    if effects & {READS_STATE, QUERIES_ORACLE, REFRESHES_ORACLE}:
+        return "reads-state"
+    return "pure"
+
+
+def infer_effects(graph: CallGraph) -> EffectMap:
+    """Local effect scan followed by a transitive worklist fixpoint."""
+    result: EffectMap = {}
+    for qualname, fn in graph.functions.items():
+        seed = known_signature(qualname)
+        if seed is not None:
+            fx = FunctionEffects(effects=set(seed), seeded=True)
+            for effect in seed:
+                fx.witnesses[effect] = Witness(fn.lineno, "declared effect signature")
+            result[qualname] = fx
+        else:
+            result[qualname] = _local_effects(graph, fn)
+
+    # Fallback effects of unresolved call sites count as local too.
+    for caller, sites in graph.calls.items():
+        fx = result.get(caller)
+        if fx is None or fx.seeded:
+            continue
+        for site in sites:
+            if site.targets:
+                continue
+            for effect in fallback_effects(site):
+                fx.absorb(
+                    effect,
+                    Witness(site.line, f"call `{site.receiver_hint}.{site.method}()`"),
+                )
+
+    # Worklist fixpoint over the call graph.
+    pending = list(graph.functions)
+    in_queue = set(pending)
+    while pending:
+        caller = pending.pop()
+        in_queue.discard(caller)
+        fx = result[caller]
+        if fx.seeded:
+            continue
+        changed = False
+        for site in graph.calls.get(caller, ()):  # absorb callee effects
+            for target in site.targets:
+                callee_fx = result.get(target)
+                if callee_fx is None:
+                    continue
+                for effect in callee_fx.effects:
+                    if fx.absorb(
+                        effect, Witness(site.line, f"call to `{target}` (line {site.line})")
+                    ):
+                        changed = True
+        if changed:
+            for parent in graph.callers.get(caller, ()):  # re-examine callers
+                if parent not in in_queue:
+                    in_queue.add(parent)
+                    pending.append(parent)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# local (intra-function) effect scan
+# --------------------------------------------------------------------------- #
+
+
+def _local_effects(graph: CallGraph, fn: FunctionInfo) -> FunctionEffects:
+    fx = FunctionEffects()
+    module = graph.modules.get(fn.module)
+    module_globals = set(module.globals_) if module is not None else set()
+    import_names = set(module.imports) if module is not None else set()
+
+    params = {arg.arg for arg in _all_args(fn.node)}
+    locals_: set[str] = set()
+    global_decls: set[str] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Global):
+            global_decls.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            locals_.add(node.id)
+    locals_ -= global_decls
+
+    def root_kind(expr: ast.expr) -> str:
+        """Classify the root name a store/mutation reaches."""
+        while isinstance(expr, (ast.Attribute, ast.Subscript)):
+            expr = expr.value
+        if not isinstance(expr, ast.Name):
+            return "other"
+        name = expr.id
+        if name in {"self", "cls"}:
+            return "self"
+        if name in global_decls or (
+            name in module_globals and name not in locals_ and name not in params
+        ):
+            return "module:" + name
+        if name in params and name not in locals_:
+            return "param"
+        return "local"
+
+    def note_store(target: ast.expr, line: int, what: str) -> None:
+        # A bare Name store is a local rebinding unless `global`-declared.
+        if isinstance(target, ast.Name):
+            if target.id in global_decls:
+                fx.module_writes.add(target.id)
+                fx.absorb(MUTATES_MODULE, Witness(line, f"rebinds global `{target.id}`"))
+            return
+        kind = root_kind(target)
+        if kind == "self" or kind == "param":
+            fx.absorb(MUTATES_STATE, Witness(line, what))
+        elif kind.startswith("module:"):
+            name = kind.partition(":")[2]
+            fx.module_writes.add(name)
+            fx.absorb(MUTATES_MODULE, Witness(line, f"mutates global `{name}`"))
+
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                note_store(target, node.lineno, _store_text(target))
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            note_store(node.target, node.lineno, _store_text(node.target))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                note_store(target, node.lineno, _store_text(target))
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _CONTAINER_MUTATORS:
+                kind = root_kind(node.func.value)
+                if kind in {"self", "param"}:
+                    fx.absorb(
+                        MUTATES_STATE,
+                        Witness(node.lineno, f"in-place `.{node.func.attr}()` on {kind} state"),
+                    )
+                elif kind.startswith("module:"):
+                    name = kind.partition(":")[2]
+                    fx.module_writes.add(name)
+                    fx.absorb(
+                        MUTATES_MODULE,
+                        Witness(node.lineno, f"in-place `.{node.func.attr}()` on global `{name}`"),
+                    )
+        elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            if isinstance(node.value, ast.Name) and node.value.id in {"self", "cls"}:
+                fx.absorb(READS_STATE, Witness(node.lineno, f"reads `self.{node.attr}`"))
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            name = node.id
+            if (
+                name in module_globals
+                and name not in locals_
+                and name not in params
+                and name not in import_names
+            ):
+                fx.module_reads.add(name)
+                fx.absorb(READS_STATE, Witness(node.lineno, f"reads global `{name}`"))
+    return fx
+
+
+def _all_args(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[ast.arg]:
+    args = node.args
+    extra = [a for a in (args.vararg, args.kwarg) if a is not None]
+    return [*args.posonlyargs, *args.args, *args.kwonlyargs, *extra]
+
+
+def _store_text(target: ast.expr) -> str:
+    if isinstance(target, ast.Attribute):
+        return f"assigns attribute `.{target.attr}`"
+    if isinstance(target, ast.Subscript):
+        return "assigns through a subscript"
+    return "assignment"

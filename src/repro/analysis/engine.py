@@ -15,14 +15,23 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from .rules import RULES, FileContext, Rule, Violation
+from .semantic_rules import ProjectAnalysis, build_project, run_semantic_rules
 
-__all__ = ["FileReport", "WAIVER_PATTERN", "analyze_path", "analyze_paths", "iter_python_files"]
+__all__ = [
+    "FileReport",
+    "WAIVER_PATTERN",
+    "analyze_path",
+    "analyze_paths",
+    "analyze_project",
+    "attach_semantic",
+    "iter_python_files",
+]
 
 #: ``# repro-lint: disable=<CODE>[,<CODE>] <reason>`` -- the reason is
 #: mandatory (enforced as WVR001, not by the regex, so a reasonless waiver
 #: still suppresses while the missing reason is reported).
 WAIVER_PATTERN = re.compile(
-    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Z]{3,4}\d{3}(?:\s*,\s*[A-Z]{3,4}\d{3})*)"
     r"[ \t]*(?P<reason>[^#]*)"
 )
 
@@ -47,6 +56,8 @@ class FileReport:
     violations: list[Violation] = field(default_factory=list)
     waivers: list[Waiver] = field(default_factory=list)
     parse_error: str | None = None
+    #: Parsed context, kept so the semantic pass can reuse the one parse.
+    context: FileContext | None = field(default=None, repr=False)
 
     def line_text(self, line: int) -> str:
         return self._lines[line - 1] if 0 < line <= len(self._lines) else ""
@@ -86,6 +97,7 @@ def analyze_source(path: str, source: str, rules: tuple[type[Rule], ...] = RULES
         return report
 
     ctx = FileContext(path=path, source=source, tree=tree, lines=lines)
+    report.context = ctx
     waivers = parse_waivers(lines)
     report.waivers = sorted(waivers.values(), key=lambda w: w.line)
 
@@ -138,6 +150,51 @@ def analyze_paths(
 ) -> list[FileReport]:
     files = iter_python_files(paths)
     return [analyze_path(path, root, rules) for path in files]
+
+
+def attach_semantic(reports: list[FileReport]) -> ProjectAnalysis | None:
+    """Run the whole-program pass and merge its findings into *reports*.
+
+    Builds the call graph + effect map from the already-parsed contexts
+    (``src/repro/`` scope only), runs the semantic rules, applies each
+    file's per-line waivers to the new findings, and re-sorts.  Returns the
+    :class:`ProjectAnalysis` for ``--call-graph``/summary export, or
+    ``None`` when no in-scope file was analyzed.
+    """
+    contexts = [report.context for report in reports if report.context is not None]
+    project = build_project(contexts)
+    if project is None:
+        return None
+    by_path = {report.path: report for report in reports}
+    touched: set[str] = set()
+    for violation in run_semantic_rules(project):
+        report = by_path.get(violation.path)
+        if report is None:
+            continue
+        waived = any(
+            waiver.line == violation.line and violation.code in waiver.codes
+            for waiver in report.waivers
+        )
+        if waived:
+            continue
+        report.violations.append(violation)
+        touched.add(report.path)
+    for path in sorted(touched):
+        by_path[path].violations.sort(key=lambda v: (v.line, v.column, v.code))
+    return project
+
+
+def analyze_project(
+    paths: list[Path],
+    root: Path,
+    rules: tuple[type[Rule], ...] = RULES,
+    *,
+    semantic: bool = True,
+) -> tuple[list[FileReport], ProjectAnalysis | None]:
+    """Lexical pass plus (by default) the interprocedural semantic pass."""
+    reports = analyze_paths(paths, root, rules)
+    project = attach_semantic(reports) if semantic else None
+    return reports, project
 
 
 def iter_python_files(paths: list[Path]) -> list[Path]:

@@ -272,10 +272,10 @@ class DET003SetIteration(Rule):
             ):
                 exempt.add(id(node.args[0]))
         for scope in _scopes(ctx.tree):
-            set_names = _set_typed_names(scope)
+            bindings = _set_bindings(scope)
             for node in _scope_walk(scope):
                 for iter_expr in self._ordered_iterables(node, exempt):
-                    if self._is_set_expr(iter_expr, set_names):
+                    if self._is_set_expr(iter_expr, bindings):
                         yield self._violation(ctx, iter_expr)
 
     def _ordered_iterables(self, node: ast.AST, exempt: set[int]) -> Iterator[ast.expr]:
@@ -294,11 +294,11 @@ class DET003SetIteration(Rule):
             if node.func.id in {"list", "tuple", "enumerate"} and node.args:
                 yield node.args[0]
 
-    def _is_set_expr(self, node: ast.expr, set_names: set[str]) -> bool:
+    def _is_set_expr(self, node: ast.expr, bindings: _SetBindings) -> bool:
         if isinstance(node, (ast.Set, ast.SetComp)):
             return True
         if isinstance(node, ast.Name):
-            return node.id in set_names
+            return _name_is_set(bindings, node.id, node.lineno)
         if isinstance(node, ast.Call):
             func = node.func
             if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
@@ -306,13 +306,13 @@ class DET003SetIteration(Rule):
             if (
                 isinstance(func, ast.Attribute)
                 and func.attr in _SET_RETURNING_METHODS
-                and self._is_set_expr(func.value, set_names)
+                and self._is_set_expr(func.value, bindings)
             ):
                 return True
             return False
         if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
-            return self._is_set_expr(node.left, set_names) or self._is_set_expr(
-                node.right, set_names
+            return self._is_set_expr(node.left, bindings) or self._is_set_expr(
+                node.right, bindings
             )
         return False
 
@@ -359,41 +359,59 @@ def _scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
         stack.extend(ast.iter_child_nodes(node))
 
 
-def _set_typed_names(scope: ast.AST) -> set[str]:
-    """Names whose bindings in *scope* are syntactically set-valued.
+#: Per-name, line-ordered binding flags: ``True`` = bound to a set here.
+_SetBindings = dict[str, list[tuple[int, bool]]]
 
-    A name counts as set-typed when at least one binding is a set literal,
-    set() / frozenset() call, set comprehension or ``set[...]`` annotation,
-    and no binding is an obviously different literal type.  This is a
-    heuristic symbol table, not type inference -- good enough because the
-    rule exists to force explicit ordering at the few real sites.
+#: Calls whose result is definitely not a ``set`` (rebinding one of these
+#: over a set-typed name de-flags it from that line on).
+_NON_SET_CALLS = frozenset({"sorted", "list", "tuple", "dict", "frozenset", "str", "len"})
+
+
+def _set_bindings(scope: ast.AST) -> _SetBindings:
+    """Line-ordered set-typedness of every name bound in *scope*.
+
+    Tracks each binding separately so a name rebound from ``set`` to
+    ``sorted(...)``/``list(...)`` stops counting as a set from the rebind
+    onward (and vice versa).  ``frozenset`` bindings deliberately do NOT
+    mark the name: in this codebase frozensets are hashed-in constants used
+    for membership tests, and flagging every later ``in`` scan of them
+    drowned the signal (iterating one directly is still caught by the
+    expression check).  This is a heuristic symbol table, not type
+    inference -- good enough because the rule exists to force explicit
+    ordering at the few real sites.
     """
-    set_like: set[str] = set()
-    other: set[str] = set()
+    bindings: _SetBindings = {}
+
+    def record(name: str, line: int, is_set: bool) -> None:
+        bindings.setdefault(name, []).append((line, is_set))
 
     def classify(target: ast.expr, value: ast.expr | None, annotation: ast.expr | None) -> None:
         if not isinstance(target, ast.Name):
             return
-        is_set = False
         if annotation is not None:
             ann = annotation
             if isinstance(ann, ast.Subscript):
                 ann = ann.value
-            if isinstance(ann, ast.Name) and ann.id in {"set", "frozenset"}:
-                is_set = True
-        if value is not None:
-            if isinstance(value, (ast.Set, ast.SetComp)):
-                is_set = True
-            elif isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
-                if value.func.id in {"set", "frozenset"}:
-                    is_set = True
-            if not is_set and isinstance(
-                value, (ast.List, ast.ListComp, ast.Dict, ast.DictComp, ast.Tuple, ast.Constant)
-            ):
-                other.add(target.id)
-                return
-        if is_set:
-            set_like.add(target.id)
+            if isinstance(ann, ast.Name):
+                if ann.id == "set":
+                    record(target.id, target.lineno, True)
+                    return
+                if ann.id in {"frozenset", "list", "tuple", "dict", "str"}:
+                    record(target.id, target.lineno, False)
+                    return
+        if value is None:
+            return
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            record(target.id, target.lineno, True)
+        elif isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            # Unknown calls count as non-set: a wrong "is a set" guess is a
+            # false positive, a wrong "is not" only loses a hint.
+            record(target.id, target.lineno, value.func.id == "set")
+        elif isinstance(
+            value,
+            (ast.List, ast.ListComp, ast.Dict, ast.DictComp, ast.Tuple, ast.Constant, ast.Call),
+        ):
+            record(target.id, target.lineno, False)
 
     for node in _scope_walk(scope):
         if isinstance(node, ast.Assign):
@@ -402,9 +420,33 @@ def _set_typed_names(scope: ast.AST) -> set[str]:
         elif isinstance(node, ast.AnnAssign):
             classify(node.target, node.value, node.annotation)
         elif isinstance(node, ast.AugAssign):
-            if isinstance(node.op, _SET_OPS):
-                classify(node.target, node.value, None)
-    return set_like - other
+            # `s |= other` keeps s a set; `flags |= 0x4` keeps it an int.
+            if isinstance(node.op, _SET_OPS) and isinstance(node.target, ast.Name):
+                is_set = not isinstance(node.value, ast.Constant)
+                record(node.target.id, node.target.lineno, is_set)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            # Loop targets rebind to element values, never to the set itself.
+            for target in ast.walk(node.target):
+                if isinstance(target, ast.Name):
+                    record(target.id, target.lineno, False)
+    for entries in bindings.values():
+        entries.sort()
+    return bindings
+
+
+def _name_is_set(bindings: _SetBindings, name: str, line: int) -> bool:
+    """Was *name* last bound to a set strictly before *line*?
+
+    Falls back to the first binding when every binding is at/after the use
+    line (loops bind textually below a use on the back edge).
+    """
+    entries = bindings.get(name)
+    if not entries:
+        return False
+    prior = [flag for bind_line, flag in entries if bind_line < line]
+    if prior:
+        return prior[-1]
+    return entries[0][1]
 
 
 class INV001CSRMutation(Rule):
@@ -676,5 +718,14 @@ RULES: tuple[type[Rule], ...] = (
 
 
 def rule_catalog() -> list[tuple[str, bool, str]]:
-    """(code, autofixable, summary) for every registered rule, in order."""
-    return [(rule.code, rule.autofixable, rule.summary()) for rule in RULES]
+    """(code, autofixable, summary) for every registered rule, sorted by code.
+
+    Merges the per-file rules above with the whole-program semantic rules
+    (imported lazily: :mod:`repro.analysis.semantic_rules` depends on this
+    module for :class:`FileContext`/:class:`Violation`).
+    """
+    from .semantic_rules import SEMANTIC_RULES
+
+    entries = [(rule.code, rule.autofixable, rule.summary()) for rule in RULES]
+    entries += [(rule.code, rule.autofixable, rule.summary()) for rule in SEMANTIC_RULES]
+    return sorted(entries)

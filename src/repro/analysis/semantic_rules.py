@@ -1,0 +1,768 @@
+"""Whole-program semantic rules on top of the call graph + effect engine.
+
+These rules need interprocedural reasoning that no per-file rule can do:
+
+``ORA001``
+    A statement path that mutates the road network and later queries a
+    distance oracle with no intervening refresh/repair/fallback: the query
+    prices on preprocessed structures describing a road network that no
+    longer exists.
+``ORA002``
+    An oracle query inside a ``WorldEvent.apply`` override or timeline
+    hook: events run *before* the refresh policy sees the burst, so any
+    query there is potentially stale by construction; route pricing
+    decisions through the refresh policy instead.
+``CONC001``
+    Module-level mutable state reachable from dispatch/routing entry
+    points: the ROADMAP's dispatch-as-a-service and zone-sharded
+    multiprocessing work will fork these modules into executor workers,
+    where a module global silently becomes per-process (or, with threads,
+    a data race).
+``CONC002``
+    A closure or default-argument capture of mutable simulation state in a
+    function handed to an executor/callback seam: the capture aliases
+    batch-local state across task boundaries.
+``PUR001``
+    A function whose name (``compute_*``/``score_*``/``estimate_*``) or
+    docstring claims purity but which transitively mutates state.
+
+The analysis is branch-insensitive apart from ``if``/``else`` joins and a
+twice-unrolled loop body (which catches ``query(); ...; mutate()`` loops),
+and blind to registry-style dynamic dispatch -- see DESIGN.md for the
+documented unsoundness.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from .callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionInfo,
+    _is_mutable_value,
+    build_call_graph,
+)
+from .effects import (
+    MUTATES_MODULE,
+    MUTATES_NETWORK,
+    MUTATES_STATE,
+    QUERIES_ORACLE,
+    REFRESHES_ORACLE,
+    EffectMap,
+    classify,
+    fallback_effects,
+    infer_effects,
+)
+from .rules import FileContext, Violation
+
+__all__ = [
+    "SEMANTIC_RULES",
+    "ProjectAnalysis",
+    "SemanticRule",
+    "build_project",
+    "call_graph_dot",
+    "call_graph_json",
+    "run_semantic_rules",
+    "summary_tables",
+]
+
+#: Modules whose functions count as dispatch/routing entry points (CONC001);
+#: the future executor boundary cuts through these packages.
+ENTRY_MODULE_PREFIXES = ("repro.dispatch", "repro.network.routing")
+ENTRY_FUNCTION_SUFFIXES = ("Simulator.run",)
+
+#: Callable-handoff seams (CONC002): executor submission methods and
+#: thread/process constructors taking a ``target=``.
+EXECUTOR_METHODS = frozenset(
+    {"submit", "apply_async", "map_async", "starmap_async", "add_done_callback",
+     "run_in_executor", "call_soon", "call_later"}
+)
+THREAD_CLASSES = frozenset({"Thread", "Process", "Timer"})
+CALLBACK_KEYWORDS = frozenset({"target", "callback", "error_callback", "func", "fn"})
+
+_PURITY_PREFIXES = ("compute_", "score_", "estimate_")
+_PURITY_DOC = re.compile(r"\bpure(?:ly)?\b(?!\s+(?:stdlib|python))", re.IGNORECASE)
+_MUTATION_EFFECTS = frozenset({MUTATES_NETWORK, MUTATES_STATE, MUTATES_MODULE})
+
+
+@dataclass
+class ProjectAnalysis:
+    """Call graph + effects + per-file contexts for the semantic rules."""
+
+    graph: CallGraph
+    effects: EffectMap
+    contexts: dict[str, FileContext] = field(default_factory=dict)
+
+    def effect_set(self, qualname: str) -> set[str]:
+        fx = self.effects.get(qualname)
+        return fx.effects if fx is not None else set()
+
+    def site_effects(self, site: CallSite) -> set[str]:
+        """Effects one call site may perform (resolved union or fallback)."""
+        if site.targets:
+            combined: set[str] = set()
+            for target in site.targets:
+                combined |= self.effect_set(target)
+            return combined
+        return set(fallback_effects(site))
+
+    def witness_chain(self, qualname: str, effect: str, depth: int = 3) -> str:
+        """Render how an effect reached a function, following call witnesses."""
+        parts: list[str] = []
+        current = qualname
+        for _ in range(depth):
+            fx = self.effects.get(current)
+            if fx is None or effect not in fx.witnesses:
+                break
+            witness = fx.witnesses[effect]
+            parts.append(witness.detail)
+            match = re.match(r"call to `([^`]+)`", witness.detail)
+            if match is None:
+                break
+            current = match.group(1)
+        return " -> ".join(parts)
+
+
+def build_project(contexts: list[FileContext]) -> ProjectAnalysis | None:
+    """Index the project files (``src/repro/`` scope); None when empty."""
+    in_scope = [ctx for ctx in contexts if ctx.path.startswith("src/repro/")]
+    if not in_scope:
+        return None
+    graph = build_call_graph(in_scope)
+    effects = infer_effects(graph)
+    return ProjectAnalysis(
+        graph=graph, effects=effects, contexts={ctx.path: ctx for ctx in in_scope}
+    )
+
+
+class SemanticRule:
+    """Base class: one whole-program rule with a code and docstring."""
+
+    code: str = ""
+    autofixable: bool = False
+
+    @classmethod
+    def summary(cls) -> str:
+        doc = cls.__doc__ or ""
+        return doc.strip().splitlines()[0]
+
+    def check(self, project: ProjectAnalysis) -> Iterator[Violation]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+# --------------------------------------------------------------------------- #
+# ORA001: mutate-then-query with no intervening refresh
+# --------------------------------------------------------------------------- #
+
+
+class ORA001StaleOracleQuery(SemanticRule):
+    """No oracle query after a network mutation without a refresh between.
+
+    Preprocessed routing structures (CH shortcuts, hub labels) describe the
+    network as it was at build time; a ``DistanceOracle`` query issued after
+    ``RoadNetwork.add_edge``/``remove_edge``/``add_node`` -- directly or
+    through any call chain -- prices against a stale view unless
+    ``rebuild()``, ``repair()`` or ``enable_fallback()`` ran in between.
+    The scan is per-function but the mutate/query/refresh classification of
+    every callee is transitive over the project call graph; ``if``/``else``
+    branches join pessimistically and loop bodies are unrolled twice so a
+    ``query(); mutate()`` loop is caught on its back edge.
+    """
+
+    code = "ORA001"
+
+    def check(self, project: ProjectAnalysis) -> Iterator[Violation]:
+        for qualname, fn in sorted(project.graph.functions.items()):
+            fx = project.effects.get(qualname)
+            if fx is None or fx.seeded:
+                continue
+            effects = fx.effects
+            if MUTATES_NETWORK not in effects or QUERIES_ORACLE not in effects:
+                continue
+            yield from self._scan_function(project, fn)
+
+    def _scan_function(
+        self, project: ProjectAnalysis, fn: FunctionInfo
+    ) -> Iterator[Violation]:
+        sites = {
+            (site.line, site.col): site
+            for site in project.graph.calls.get(fn.qualname, ())
+            if not site.in_nested
+        }
+        found: dict[tuple[int, int], Violation] = {}
+        state = _ScanState(project, fn, sites, found)
+        state.scan_block(fn.node.body, _Dirty(False, 0))
+        yield from (found[key] for key in sorted(found))
+
+
+@dataclass(frozen=True)
+class _Dirty:
+    dirty: bool
+    since_line: int
+
+    def join(self, other: "_Dirty") -> "_Dirty":
+        if self.dirty:
+            return self
+        return other
+
+
+@dataclass
+class _ScanState:
+    project: ProjectAnalysis
+    fn: FunctionInfo
+    sites: dict[tuple[int, int], CallSite]
+    found: dict[tuple[int, int], Violation]
+
+    def scan_block(self, stmts: list[ast.stmt], dirty: _Dirty) -> _Dirty:
+        for stmt in stmts:
+            dirty = self.scan_statement(stmt, dirty)
+        return dirty
+
+    def scan_statement(self, stmt: ast.stmt, dirty: _Dirty) -> _Dirty:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return dirty  # deferred execution; scanned on its own if indexed
+        if isinstance(stmt, ast.If):
+            dirty = self.apply_expressions([stmt.test], dirty)
+            then_out = self.scan_block(stmt.body, dirty)
+            else_out = self.scan_block(stmt.orelse, dirty)
+            return then_out.join(else_out)
+        if isinstance(stmt, (ast.For, ast.While, ast.AsyncFor)):
+            header: list[ast.expr] = []
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                header = [stmt.iter]
+            else:
+                header = [stmt.test]
+            dirty = self.apply_expressions(header, dirty)
+            once = self.scan_block(stmt.body, dirty)
+            # Second unroll catches query-before-mutate on the back edge.
+            twice = self.scan_block(stmt.body, once)
+            return self.scan_block(stmt.orelse, dirty.join(twice))
+        if isinstance(stmt, ast.Try):
+            out = self.scan_block(stmt.body, dirty)
+            merged = out
+            for handler in stmt.handlers:
+                merged = merged.join(self.scan_block(handler.body, out))
+            merged = self.scan_block(stmt.orelse, merged)
+            return self.scan_block(stmt.finalbody, merged)
+        # Generic statement: evaluate its expressions, then nested bodies.
+        exprs = [
+            value
+            for name, value in ast.iter_fields(stmt)
+            if name not in {"body", "orelse", "finalbody", "handlers"}
+            for value in (value if isinstance(value, list) else [value])
+            if isinstance(value, ast.expr)
+        ]
+        dirty = self.apply_expressions(exprs, dirty)
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, attr, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                dirty = self.scan_block(block, dirty)
+        return dirty
+
+    def apply_expressions(self, exprs: list[ast.expr], dirty: _Dirty) -> _Dirty:
+        calls: list[ast.Call] = []
+        for expr in exprs:
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Call):
+                    calls.append(node)
+        for call in sorted(calls, key=lambda c: (c.lineno, c.col_offset)):
+            site = self.sites.get((call.lineno, call.col_offset))
+            if site is None:
+                continue
+            effects = self.project.site_effects(site)
+            # Optimistic per-call ordering: a callee that both queries and
+            # mutates (or mutates and refreshes) is assumed internally
+            # consistent -- its own body is scanned separately -- so the
+            # caller sees query first and refresh last.
+            if QUERIES_ORACLE in effects and dirty.dirty:
+                key = (call.lineno, call.col_offset)
+                if key not in self.found:
+                    callee = site.targets[0] if site.targets else (
+                        f"{site.receiver_hint}.{site.method}"
+                    )
+                    self.found[key] = Violation(
+                        code="ORA001",
+                        path=self.fn.path,
+                        line=call.lineno,
+                        column=call.col_offset,
+                        message=(
+                            f"oracle query via `{callee}` on a path where the network "
+                            f"was mutated (line {dirty.since_line}) with no "
+                            "rebuild/repair/enable_fallback in between"
+                        ),
+                    )
+            if MUTATES_NETWORK in effects:
+                dirty = _Dirty(True, call.lineno)
+            if REFRESHES_ORACLE in effects:
+                dirty = _Dirty(False, 0)
+        return dirty
+
+
+# --------------------------------------------------------------------------- #
+# ORA002: oracle queries inside world-event application
+# --------------------------------------------------------------------------- #
+
+
+class ORA002QueryInEventHook(SemanticRule):
+    """No oracle queries inside ``WorldEvent.apply`` or timeline hooks.
+
+    Events of one batch boundary are applied *before* the refresh policy
+    sees the mutation burst, so an oracle query issued from an ``apply``
+    override (or an ``on_applied`` timeline probe) can observe the previous
+    burst's staleness no matter how careful the event itself is.  Pricing
+    reactions to world changes belong after the refresh policy has run --
+    in the dispatcher or in a dedicated post-refresh hook.
+    """
+
+    code = "ORA002"
+
+    def check(self, project: ProjectAnalysis) -> Iterator[Violation]:
+        graph = project.graph
+        for qualname, fn in sorted(graph.functions.items()):
+            if not self._is_event_hook(graph, fn):
+                continue
+            effects = project.effect_set(qualname)
+            if QUERIES_ORACLE not in effects:
+                continue
+            chain = project.witness_chain(qualname, QUERIES_ORACLE)
+            detail = f" ({chain})" if chain else ""
+            yield Violation(
+                code="ORA002",
+                path=fn.path,
+                line=fn.lineno,
+                column=fn.node.col_offset,
+                message=(
+                    f"`{fn.name}` runs before the refresh policy sees the burst "
+                    f"but transitively queries the oracle{detail}; route pricing "
+                    "through the refresh policy instead"
+                ),
+            )
+
+    def _is_event_hook(self, graph: CallGraph, fn: FunctionInfo) -> bool:
+        if fn.name == "on_applied":
+            return True
+        if fn.name != "apply" or fn.cls is None:
+            return False
+        cls = graph.classes.get(fn.cls)
+        if cls is None or cls.name == "WorldEvent":
+            return False
+        return graph.inherits_from(fn.cls, "WorldEvent")
+
+
+# --------------------------------------------------------------------------- #
+# CONC001: shared module state on the executor boundary
+# --------------------------------------------------------------------------- #
+
+
+class CONC001SharedModuleState(SemanticRule):
+    """No mutable module-level state reachable from dispatch/routing paths.
+
+    The dispatch-as-a-service and zone-sharded multiprocessing work will
+    run dispatch and routing code inside executor workers.  A module-level
+    container that any reachable function mutates (or a global rebound via
+    ``global``) is shared mutable state today and divergent per-process
+    state tomorrow -- results would then depend on worker placement.  Keep
+    such state on instances owned by one run, or make it an immutable
+    constant; deliberate process-local singletons need a reasoned waiver.
+    """
+
+    code = "CONC001"
+
+    def check(self, project: ProjectAnalysis) -> Iterator[Violation]:
+        graph = project.graph
+        entries = self._entry_points(project)
+        reachable = self._reachable(graph, entries)
+        for module_name in sorted(graph.modules):
+            module = graph.modules[module_name]
+            for name in sorted(module.globals_):
+                binding = module.globals_[name]
+                writers = [
+                    qualname
+                    for qualname, fx in project.effects.items()
+                    if name in fx.module_writes
+                    and graph.functions[qualname].module == module_name
+                ]
+                if not writers:
+                    continue
+                if not binding.mutable_value and not any(
+                    self._rebinds_global(graph.functions[w].node, name) for w in writers
+                ):
+                    continue
+                users = [
+                    qualname
+                    for qualname, fx in project.effects.items()
+                    if (name in fx.module_reads or name in fx.module_writes)
+                    and graph.functions[qualname].module == module_name
+                ]
+                hot = sorted(u for u in users if u in reachable)
+                if not hot:
+                    continue
+                yield Violation(
+                    code="CONC001",
+                    path=binding.path,
+                    line=binding.line,
+                    column=0,
+                    message=(
+                        f"module-level mutable state `{name}` (mutated by "
+                        f"`{writers[0]}`) is reachable from dispatch/routing via "
+                        f"`{hot[0]}`; move it onto a per-run instance before the "
+                        "executor boundary or waive with a reason"
+                    ),
+                )
+
+    def _entry_points(self, project: ProjectAnalysis) -> set[str]:
+        graph = project.graph
+        entries: set[str] = set()
+        for qualname, fn in graph.functions.items():
+            if fn.module.startswith(ENTRY_MODULE_PREFIXES):
+                entries.add(qualname)
+            elif any(qualname.endswith(suffix) for suffix in ENTRY_FUNCTION_SUFFIXES):
+                entries.add(qualname)
+            elif (
+                fn.cls is not None
+                and fn.name == "dispatch"
+                and graph.inherits_from(fn.cls, "Dispatcher")
+            ):
+                entries.add(qualname)
+        return entries
+
+    def _reachable(self, graph: CallGraph, entries: set[str]) -> set[str]:
+        seen = set(entries)
+        stack = list(entries)
+        while stack:
+            for site in graph.calls.get(stack.pop(), ()):
+                for target in site.targets:
+                    if target not in seen:
+                        seen.add(target)
+                        stack.append(target)
+        return seen
+
+    def _rebinds_global(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef, name: str
+    ) -> bool:
+        return any(
+            isinstance(child, ast.Global) and name in child.names
+            for child in ast.walk(node)
+        )
+
+
+# --------------------------------------------------------------------------- #
+# CONC002: mutable capture handed to executors/callbacks
+# --------------------------------------------------------------------------- #
+
+
+class CONC002MutableCapture(SemanticRule):
+    """No mutable-state capture in callables handed to executors/callbacks.
+
+    A lambda or nested function submitted to an executor (``submit``,
+    ``apply_async``, ``Thread(target=...)``, ``add_done_callback``) that
+    closes over a mutable container -- or over ``self`` -- aliases live
+    simulation state across the task boundary; by the time the task runs,
+    the batch that created the capture has moved on.  The same applies to
+    mutable default arguments on the handed-off function.  Pass immutable
+    snapshots (tuples, frozen dataclasses) or per-task copies instead.
+    """
+
+    code = "CONC002"
+
+    def check(self, project: ProjectAnalysis) -> Iterator[Violation]:
+        for path in sorted(project.contexts):
+            ctx = project.contexts[path]
+            for scope in ast.walk(ctx.tree):
+                if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                yield from self._scan_scope(ctx, scope)
+
+    def _scan_scope(
+        self, ctx: FileContext, scope: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        mutable_names = self._mutable_bindings(scope)
+        local_defs = {
+            child.name: child
+            for child in ast.walk(scope)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)) and child is not scope
+        }
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            for candidate in self._handed_callables(node):
+                yield from self._check_callable(
+                    ctx, node, candidate, mutable_names, local_defs
+                )
+
+    def _handed_callables(self, call: ast.Call) -> Iterator[ast.expr]:
+        func = call.func
+        is_executor = isinstance(func, ast.Attribute) and func.attr in EXECUTOR_METHODS
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        is_thread = name in THREAD_CLASSES
+        if is_executor and call.args:
+            yield call.args[0]
+        for keyword in call.keywords:
+            if keyword.arg in CALLBACK_KEYWORDS and (is_executor or is_thread):
+                yield keyword.value
+
+    def _check_callable(
+        self,
+        ctx: FileContext,
+        handoff: ast.Call,
+        candidate: ast.expr,
+        mutable_names: set[str],
+        local_defs: dict[str, ast.FunctionDef | ast.AsyncFunctionDef],
+    ) -> Iterator[Violation]:
+        if isinstance(candidate, ast.Call):  # functools.partial(fn, ...)
+            if candidate.args:
+                yield from self._check_callable(
+                    ctx, handoff, candidate.args[0], mutable_names, local_defs
+                )
+            return
+        body: ast.Lambda | ast.FunctionDef | ast.AsyncFunctionDef | None = None
+        label = "<lambda>"
+        if isinstance(candidate, ast.Lambda):
+            body = candidate
+        elif isinstance(candidate, ast.Name) and candidate.id in local_defs:
+            body = local_defs[candidate.id]
+            label = candidate.id
+        if body is None:
+            return
+        for default in self._mutable_defaults(body):
+            yield Violation(
+                code="CONC002",
+                path=ctx.path,
+                line=handoff.lineno,
+                column=handoff.col_offset,
+                message=(
+                    f"`{label}` handed to an executor/callback carries a mutable "
+                    f"default argument (line {default.lineno}); defaults are "
+                    "shared across every task"
+                ),
+            )
+        captured = sorted(self._free_names(body) & (mutable_names | {"self"}))
+        for name in captured:
+            yield Violation(
+                code="CONC002",
+                path=ctx.path,
+                line=handoff.lineno,
+                column=handoff.col_offset,
+                message=(
+                    f"`{label}` handed to an executor/callback closes over mutable "
+                    f"`{name}`; pass an immutable snapshot or per-task copy instead"
+                ),
+            )
+
+    def _mutable_bindings(self, scope: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+        names: set[str] = set()
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and _is_mutable_value(node.value):
+                        names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if _is_mutable_value(node.value):
+                    names.add(node.target.id)
+        return names
+
+    def _mutable_defaults(
+        self, node: ast.Lambda | ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[ast.expr]:
+        for default in [*node.args.defaults, *node.args.kw_defaults]:
+            if default is not None and _is_mutable_value(default):
+                yield default
+
+    def _free_names(
+        self, node: ast.Lambda | ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> set[str]:
+        params = {
+            arg.arg
+            for arg in [
+                *node.args.posonlyargs,
+                *node.args.args,
+                *node.args.kwonlyargs,
+                *(a for a in (node.args.vararg, node.args.kwarg) if a is not None),
+            ]
+        }
+        bound: set[str] = set(params)
+        loaded: set[str] = set()
+        body = node.body if isinstance(node.body, list) else [node.body]
+        for stmt in body:
+            for child in ast.walk(stmt):
+                if isinstance(child, ast.Name):
+                    if isinstance(child.ctx, ast.Store):
+                        bound.add(child.id)
+                    elif isinstance(child.ctx, ast.Load):
+                        loaded.add(child.id)
+        return loaded - bound
+
+
+# --------------------------------------------------------------------------- #
+# PUR001: purity claims vs inferred effects
+# --------------------------------------------------------------------------- #
+
+
+class PUR001PurityClaim(SemanticRule):
+    """Functions claiming purity must not transitively mutate state.
+
+    A public name starting ``compute_``/``score_``/``estimate_`` -- or a
+    docstring describing the function as *pure* -- is a contract: callers
+    reorder, cache and parallelise such functions freely.  The rule checks
+    the claim against the transitive effect inference; leading-underscore
+    helpers are exempt (their statefulness is an implementation detail of
+    the enclosing seam, e.g. memoisation counters).
+    """
+
+    code = "PUR001"
+
+    def check(self, project: ProjectAnalysis) -> Iterator[Violation]:
+        for qualname, fn in sorted(project.graph.functions.items()):
+            fx = project.effects.get(qualname)
+            if fx is None or fx.seeded:
+                continue
+            claim = self._purity_claim(fn)
+            if claim is None:
+                continue
+            hit = sorted(fx.effects & _MUTATION_EFFECTS)
+            if not hit:
+                continue
+            chain = project.witness_chain(qualname, hit[0])
+            detail = f": {chain}" if chain else ""
+            yield Violation(
+                code="PUR001",
+                path=fn.path,
+                line=fn.lineno,
+                column=fn.node.col_offset,
+                message=(
+                    f"`{fn.name}` claims purity ({claim}) but transitively "
+                    f"{hit[0].replace('_', ' ')}{detail}"
+                ),
+            )
+
+    def _purity_claim(self, fn: FunctionInfo) -> str | None:
+        if fn.name.startswith("_"):
+            return None
+        if fn.name.startswith(_PURITY_PREFIXES):
+            return f"name prefix `{fn.name.split('_', 1)[0]}_`"
+        doc_first = fn.docstring.strip().splitlines()[0] if fn.docstring else ""
+        if _PURITY_DOC.search(doc_first):
+            return "docstring"
+        return None
+
+
+#: Ordered semantic-rule catalog (merged into the full catalog by
+#: :func:`repro.analysis.rules.rule_catalog`).
+SEMANTIC_RULES: tuple[type[SemanticRule], ...] = (
+    ORA001StaleOracleQuery,
+    ORA002QueryInEventHook,
+    CONC001SharedModuleState,
+    CONC002MutableCapture,
+    PUR001PurityClaim,
+)
+
+
+def run_semantic_rules(project: ProjectAnalysis) -> list[Violation]:
+    violations: list[Violation] = []
+    for rule_cls in SEMANTIC_RULES:
+        violations.extend(rule_cls().check(project))
+    return violations
+
+
+# --------------------------------------------------------------------------- #
+# call-graph export (CLI `--call-graph` + markdown summary tables)
+# --------------------------------------------------------------------------- #
+
+
+def call_graph_json(project: ProjectAnalysis) -> dict[str, object]:
+    """Machine-readable call graph + effects (versioned, sorted, stable)."""
+    fan_in = project.graph.fan_in()
+    functions = []
+    for qualname in sorted(project.graph.functions):
+        fn = project.graph.functions[qualname]
+        fx = project.effects[qualname]
+        functions.append(
+            {
+                "qualname": qualname,
+                "path": fn.path,
+                "line": fn.lineno,
+                "effects": sorted(fx.effects),
+                "classification": classify(fx.effects),
+                "seeded": fx.seeded,
+                "fan_in": fan_in.get(qualname, 0),
+                "calls": [
+                    {"line": site.line, "targets": list(site.targets), "method": site.method}
+                    for site in project.graph.calls.get(qualname, ())
+                    if site.targets or fallback_effects(site)
+                ],
+            }
+        )
+    return {"version": 1, "functions": functions}
+
+
+def call_graph_dot(project: ProjectAnalysis) -> str:
+    """GraphViz DOT of the resolved edges, colour-coded by classification."""
+    colors = {"pure": "gray70", "reads-state": "steelblue", "mutates-state": "firebrick"}
+    lines = ["digraph callgraph {", "  rankdir=LR;", "  node [shape=box, fontsize=9];"]
+    for qualname in sorted(project.graph.functions):
+        fx = project.effects[qualname]
+        label = qualname.removeprefix("repro.")
+        color = colors[classify(fx.effects)]
+        lines.append(f'  "{label}" [color={color}];')
+    for caller in sorted(project.graph.calls):
+        caller_label = caller.removeprefix("repro.")
+        seen: set[str] = set()
+        for site in project.graph.calls[caller]:
+            for target in site.targets:
+                target_label = target.removeprefix("repro.")
+                if target_label not in seen:
+                    seen.add(target_label)
+                    lines.append(f'  "{caller_label}" -> "{target_label}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def summary_tables(project: ProjectAnalysis, top: int = 10) -> str:
+    """Markdown "top mutators / top fan-in" tables for the CI job summary."""
+    fan_in = project.graph.fan_in()
+
+    def row(qualname: str) -> str:
+        fx = project.effects[qualname]
+        effects = ", ".join(sorted(fx.effects)) or "pure"
+        return (
+            f"| `{qualname.removeprefix('repro.')}` | {fan_in.get(qualname, 0)} "
+            f"| {classify(fx.effects)} | {effects} |"
+        )
+
+    by_fan_in = sorted(
+        project.graph.functions, key=lambda q: (-fan_in.get(q, 0), q)
+    )[:top]
+    mutators = [
+        qualname
+        for qualname in sorted(
+            project.graph.functions, key=lambda q: (-fan_in.get(q, 0), q)
+        )
+        if project.effects[qualname].effects & _MUTATION_EFFECTS
+    ][:top]
+    header = "| function | fan-in | class | effects |\n| --- | ---: | --- | --- |"
+    lines = [
+        "### Call graph",
+        "",
+        f"{len(project.graph.functions)} functions, "
+        f"{sum(len(s) for s in project.graph.calls.values())} call sites, "
+        f"{len(project.graph.classes)} classes.",
+        "",
+        "**Top fan-in**",
+        "",
+        header,
+        *[row(q) for q in by_fan_in],
+        "",
+        "**Top mutators**",
+        "",
+        header,
+        *[row(q) for q in mutators],
+        "",
+    ]
+    return "\n".join(lines)

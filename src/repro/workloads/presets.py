@@ -17,7 +17,7 @@ import math
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-from ..config import SimulationConfig, WorkloadConfig
+from ..config import DemandSurge, SimulationConfig, WorkloadConfig
 from ..exceptions import WorkloadError
 from ..model.request import Request
 from ..model.vehicle import Vehicle
@@ -25,6 +25,15 @@ from ..network.generators import make_city
 from ..network.road_network import RoadNetwork
 from ..network.shortest_path import DistanceOracle
 from .requests_gen import RequestGenerator, generate_vehicles
+
+@dataclass(frozen=True)
+class PresetEntry:
+    """One named preset: city template plus its two configurations."""
+
+    city: str
+    workload: WorkloadConfig
+    simulation: SimulationConfig
+
 
 #: Paper-inspired workload presets.
 #:
@@ -36,10 +45,10 @@ from .requests_gen import RequestGenerator, generate_vehicles
 #: horizon scales with the request count), trips a few minutes long and a
 #: proportionally reduced waiting budget.  ``num_requests`` / ``num_vehicles``
 #: are the defaults at ``scale=1.0``; the experiment harness sweeps them.
-WORKLOAD_PRESETS: dict[str, dict] = {
-    "chd": {
-        "city": "chd",
-        "workload": WorkloadConfig(
+WORKLOAD_PRESETS: dict[str, PresetEntry] = {
+    "chd": PresetEntry(
+        city="chd",
+        workload=WorkloadConfig(
             name="CHD",
             num_requests=2400,
             num_vehicles=130,
@@ -50,11 +59,11 @@ WORKLOAD_PRESETS: dict[str, dict] = {
             hotspot_fraction=0.55,
             seed=11,
         ),
-        "simulation": SimulationConfig(max_wait=90.0),
-    },
-    "nyc": {
-        "city": "nyc",
-        "workload": WorkloadConfig(
+        simulation=SimulationConfig(max_wait=90.0),
+    ),
+    "nyc": PresetEntry(
+        city="nyc",
+        workload=WorkloadConfig(
             name="NYC",
             num_requests=2400,
             num_vehicles=130,
@@ -65,11 +74,11 @@ WORKLOAD_PRESETS: dict[str, dict] = {
             hotspot_fraction=0.75,
             seed=22,
         ),
-        "simulation": SimulationConfig(max_wait=75.0),
-    },
-    "cainiao": {
-        "city": "cainiao",
-        "workload": WorkloadConfig(
+        simulation=SimulationConfig(max_wait=75.0),
+    ),
+    "cainiao": PresetEntry(
+        city="cainiao",
+        workload=WorkloadConfig(
             name="Cainiao",
             num_requests=1600,
             num_vehicles=100,
@@ -80,8 +89,8 @@ WORKLOAD_PRESETS: dict[str, dict] = {
             hotspot_fraction=0.4,
             seed=33,
         ),
-        "simulation": SimulationConfig(gamma=2.0, capacity=4, max_wait=150.0),
-    },
+        simulation=SimulationConfig(gamma=2.0, capacity=4, max_wait=150.0),
+    ),
 }
 
 
@@ -133,8 +142,8 @@ def resolve_preset_configs(
     *,
     scale: float = 1.0,
     vehicle_scale: float = 1.0,
-    workload_overrides: dict | None = None,
-    simulation_overrides: dict | None = None,
+    workload_overrides: dict[str, object] | None = None,
+    simulation_overrides: dict[str, object] | None = None,
 ) -> tuple[str, WorkloadConfig, SimulationConfig]:
     """Resolve a preset into ``(city_name, workload_config, simulation_config)``.
 
@@ -151,9 +160,9 @@ def resolve_preset_configs(
     if scale <= 0 or vehicle_scale <= 0:
         raise WorkloadError("scale and vehicle_scale must be positive")
     entry = WORKLOAD_PRESETS[key]
-    workload_config: WorkloadConfig = entry["workload"]
-    simulation_config: SimulationConfig = entry["simulation"]
-    scaled_fields = {
+    workload_config = entry.workload
+    simulation_config = entry.simulation
+    scaled_fields: dict[str, object] = {
         "num_requests": max(int(round(workload_config.num_requests * scale)), 1),
         "num_vehicles": max(int(round(workload_config.num_vehicles * vehicle_scale)), 1),
     }
@@ -161,7 +170,7 @@ def resolve_preset_configs(
     workload_config = workload_config.with_overrides(**scaled_fields)
     if simulation_overrides:
         simulation_config = simulation_config.with_overrides(**simulation_overrides)
-    return entry["city"], workload_config, simulation_config
+    return entry.city, workload_config, simulation_config
 
 
 def make_workload(
@@ -170,10 +179,10 @@ def make_workload(
     scale: float = 1.0,
     vehicle_scale: float = 1.0,
     city_scale: float = 0.7,
-    workload_overrides: dict | None = None,
-    simulation_overrides: dict | None = None,
+    workload_overrides: dict[str, object] | None = None,
+    simulation_overrides: dict[str, object] | None = None,
     network: RoadNetwork | None = None,
-    surges: Sequence = (),
+    surges: Sequence[DemandSurge] = (),
 ) -> Workload:
     """Build one of the named workloads.
 

@@ -1,0 +1,24 @@
+"""CONC001 clean fixture: immutable constants and per-instance state only."""
+
+#: Immutable module constant: fine to share across workers.
+_LIMITS: tuple[int, ...] = (1, 2, 3)
+
+#: Mutable value but never written after import: read-only config is fine.
+_DEFAULTS = {"capacity": 4}
+
+
+class ZoneCache:
+    """State lives on the instance, owned by one run."""
+
+    def __init__(self) -> None:
+        self._cache: dict[int, float] = {}
+
+    def lookup(self, key: int) -> float:
+        return self._cache.get(key, 0.0)
+
+    def store(self, key: int, value: float) -> None:
+        self._cache[key] = value
+
+
+def capacity_for(zone: int) -> int:
+    return _DEFAULTS["capacity"] + _LIMITS[zone % len(_LIMITS)]

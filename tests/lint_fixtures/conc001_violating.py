@@ -1,0 +1,15 @@
+"""CONC001 fixture: mutable module global on a dispatch path.
+
+Linted under the virtual path ``src/repro/dispatch/fixture.py``, so every
+function here is a dispatch entry point for reachability purposes.
+"""
+
+_CACHE: dict[int, float] = {}  # line 7: CONC001 (mutated below, read on a dispatch path)
+
+
+def lookup(key: int) -> float:
+    return _CACHE.get(key, 0.0)
+
+
+def store(key: int, value: float) -> None:
+    _CACHE[key] = value

@@ -1,0 +1,23 @@
+"""CONC002 clean fixture: immutable snapshots across executor seams."""
+
+
+class Executor:
+    def submit(self, fn: object) -> None: ...
+
+
+def schedule_snapshot(executor: Executor) -> None:
+    pending = (1, 2, 3)  # immutable snapshot: safe to capture
+    executor.submit(lambda: sum(pending))
+
+
+def schedule_pure(executor: Executor) -> None:
+    def worker(count: int = 0) -> int:
+        return count * 2
+
+    executor.submit(worker)
+
+
+def local_callback_is_fine() -> None:
+    pending = [1, 2, 3]
+    handler = lambda: pending.pop()  # noqa: E731 -- never leaves this frame
+    handler()

@@ -1,0 +1,28 @@
+"""CONC002 fixture: mutable captures handed across executor seams."""
+
+
+class Executor:
+    def submit(self, fn: object) -> None: ...
+
+
+class Thread:
+    def __init__(self, target: object = None) -> None: ...
+
+
+def schedule_batch(executor: Executor) -> None:
+    pending = [1, 2, 3]
+    executor.submit(lambda: pending.pop())  # line 14: CONC002 (captures `pending`)
+
+
+def schedule_with_default(executor: Executor) -> None:
+    def worker(batch: list = []) -> None:  # mutable default shared across tasks
+        batch.append(1)
+
+    executor.submit(worker)  # line 21: CONC002 (worker's mutable default)
+
+
+class Manager:
+    def spawn(self) -> None:
+        Thread(target=lambda: self.tick())  # line 26: CONC002 (captures `self`)
+
+    def tick(self) -> None: ...

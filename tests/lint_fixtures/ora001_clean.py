@@ -1,0 +1,34 @@
+"""ORA001 clean fixture: every mutate-then-query path refreshes in between."""
+
+
+class RoadNetwork:
+    def add_edge(self, u: int, v: int, cost: float) -> None: ...
+
+    def remove_edge(self, u: int, v: int) -> None: ...
+
+
+class DistanceOracle:
+    def cost(self, u: int, v: int) -> float: ...
+
+    def rebuild(self) -> None: ...
+
+    def repair(self, changes: int) -> None: ...
+
+
+def reroute(network: RoadNetwork, oracle: DistanceOracle) -> float:
+    network.remove_edge(1, 2)
+    oracle.rebuild()  # refresh clears the dirty window
+    return oracle.cost(0, 1)
+
+
+def branch_refreshed(network: RoadNetwork, oracle: DistanceOracle, flag: bool) -> float:
+    if flag:
+        network.remove_edge(3, 4)
+        oracle.repair(1)  # the mutating branch refreshes before joining
+    return oracle.cost(3, 4)
+
+
+def query_then_mutate(network: RoadNetwork, oracle: DistanceOracle) -> float:
+    before = oracle.cost(0, 1)  # straight-line query-before-mutate is fine
+    network.add_edge(0, 1, before)
+    return before

@@ -1,0 +1,41 @@
+"""ORA001 fixture: network mutation followed by an un-refreshed oracle query.
+
+Linted under the virtual path ``src/repro/pricing/fixture.py`` so the
+semantic pass indexes it; the stub classes below match the seeded effect
+signatures by qualname suffix (``...RoadNetwork.remove_edge`` etc.).
+"""
+
+
+class RoadNetwork:
+    def add_edge(self, u: int, v: int, cost: float) -> None: ...
+
+    def remove_edge(self, u: int, v: int) -> None: ...
+
+
+class DistanceOracle:
+    def cost(self, u: int, v: int) -> float: ...
+
+    def rebuild(self) -> None: ...
+
+
+def close_road(network: RoadNetwork) -> None:
+    network.remove_edge(1, 2)
+
+
+def price_after_closure(network: RoadNetwork, oracle: DistanceOracle) -> float:
+    close_road(network)  # transitively mutates the network
+    return oracle.cost(0, 1)  # line 27: ORA001 (no refresh since line 26)
+
+
+def loop_requery(network: RoadNetwork, oracle: DistanceOracle) -> float:
+    total = 0.0
+    for step in range(3):
+        total += oracle.cost(0, step)  # line 33: ORA001 on the loop back edge
+        network.add_edge(step, step + 1, 1.0)
+    return total
+
+
+def branch_dirty(network: RoadNetwork, oracle: DistanceOracle, flag: bool) -> float:
+    if flag:
+        network.remove_edge(3, 4)  # only one branch mutates...
+    return oracle.cost(3, 4)  # line 41: ORA001 (branches join pessimistically)

@@ -1,0 +1,28 @@
+"""ORA002 clean fixture: events mutate the world but never price on it."""
+
+
+class RoadNetwork:
+    def remove_edge(self, u: int, v: int) -> None: ...
+
+
+class World:
+    def __init__(self, network: RoadNetwork) -> None:
+        self.network = network
+
+
+class WorldEvent:
+    def apply(self, world: World) -> None:
+        raise NotImplementedError
+
+
+class ClosureEvent(WorldEvent):
+    def apply(self, world: World) -> None:
+        world.network.remove_edge(1, 2)  # mutation is the event's job
+
+
+class NoteEvent(WorldEvent):
+    def __init__(self) -> None:
+        self.note = ""
+
+    def apply(self, world: World) -> None:
+        self.note = "applied"  # self-mutation only; no oracle involved

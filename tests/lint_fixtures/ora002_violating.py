@@ -1,0 +1,26 @@
+"""ORA002 fixture: oracle query inside a ``WorldEvent.apply`` override.
+
+Also exercises ``self.oracle`` alias tracking: the oracle reaches the
+event through an annotated constructor parameter.
+"""
+
+
+class DistanceOracle:
+    def cost(self, u: int, v: int) -> float: ...
+
+
+class WorldEvent:
+    def apply(self, world: object) -> None:
+        raise NotImplementedError
+
+
+class RepriceEvent(WorldEvent):
+    def __init__(self, oracle: DistanceOracle) -> None:
+        self.oracle = oracle
+
+    def apply(self, world: object) -> None:  # line 21: ORA002
+        self.oracle.cost(1, 2)
+
+
+def on_applied(event: WorldEvent, oracle: DistanceOracle) -> float:  # line 25: ORA002
+    return oracle.cost(3, 4)

@@ -1,0 +1,20 @@
+"""PUR001 clean fixture: honest purity claims and exempt private helpers."""
+
+
+def compute_fare(distance: float) -> float:
+    return distance * 2.0
+
+
+def score_route(stops: tuple) -> float:
+    """Pure stdlib arithmetic over the stop sequence."""  # "pure stdlib" exempt
+    return float(len(stops))
+
+
+def _compute_running_total(log: list, value: float) -> float:
+    # Private helper: statefulness is the enclosing seam's business.
+    log.append(value)
+    return sum(log)
+
+
+def estimate_wait(queue_depth: int, service_rate: float) -> float:
+    return queue_depth / service_rate if service_rate else 0.0

@@ -1,0 +1,27 @@
+"""PUR001 fixture: purity claims (name prefix or docstring) that mutate."""
+
+_TOTALS: list[float] = []
+
+
+def compute_fare(distance: float) -> float:  # line 6: PUR001 (name claims purity)
+    _TOTALS.append(distance)
+    return distance * 2.0
+
+
+def _record(log: list, value: float) -> None:
+    log.append(value)
+
+
+def estimate_cost(log: list, distance: float) -> float:  # line 15: PUR001 (transitive)
+    _record(log, distance)
+    return distance * 1.5
+
+
+class FareModel:
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def unit_price(self) -> float:  # line 24: PUR001 (docstring claims purity)
+        """Pure accessor for the per-km price."""
+        self.calls += 1
+        return 1.25

@@ -1,0 +1,447 @@
+"""Tests for the interprocedural semantic analysis (PR 9).
+
+Covers the call-graph builder (method/alias/re-export resolution), the
+effect-inference engine (3-hop transitive propagation, seeded leaves), the
+ORA/CONC/PUR semantic rules against the fixture pairs in
+``tests/lint_fixtures/``, the DET003 rebinding regression, the CLI export
+surface, and the live-tree acceptance gate (clean and under the 10 s
+budget).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.callgraph import module_name_for
+from repro.analysis.cli import main as lint_main
+from repro.analysis.effects import (
+    MUTATES_NETWORK,
+    MUTATES_STATE,
+    QUERIES_ORACLE,
+    classify,
+)
+from repro.analysis.engine import analyze_project, analyze_source, attach_semantic
+from repro.analysis.rules import FileContext
+from repro.analysis.semantic_rules import (
+    ProjectAnalysis,
+    build_project,
+    call_graph_dot,
+    call_graph_json,
+    summary_tables,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def _ctx(path: str, source: str) -> FileContext:
+    src = textwrap.dedent(source)
+    return FileContext(path=path, source=src, tree=ast.parse(src))
+
+
+def _project(*files: tuple[str, str]) -> ProjectAnalysis:
+    project = build_project([_ctx(path, source) for path, source in files])
+    assert project is not None
+    return project
+
+
+def _lint_fixture(name: str, virtual_path: str) -> list:
+    report = analyze_source(virtual_path, (FIXTURES / name).read_text())
+    attach_semantic([report])
+    return report.violations
+
+
+class TestModuleNames:
+    def test_plain_module(self) -> None:
+        assert module_name_for("src/repro/dispatch/base.py") == "repro.dispatch.base"
+
+    def test_package_init(self) -> None:
+        assert module_name_for("src/repro/network/__init__.py") == "repro.network"
+
+    def test_out_of_tree(self) -> None:
+        assert module_name_for("tests/test_foo.py") is None
+
+
+class TestCallGraphResolution:
+    def test_method_via_annotated_parameter(self) -> None:
+        project = _project(
+            (
+                "src/repro/fake/mod.py",
+                """
+                class Helper:
+                    def run(self) -> int:
+                        return 1
+
+
+                def caller(helper: Helper) -> int:
+                    return helper.run()
+                """,
+            )
+        )
+        sites = project.graph.calls["repro.fake.mod.caller"]
+        assert any("repro.fake.mod.Helper.run" in site.targets for site in sites)
+
+    def test_self_attribute_alias(self) -> None:
+        project = _project(
+            (
+                "src/repro/fake/pricer.py",
+                """
+                class Oracle:
+                    def cost(self, u: int, v: int) -> float:
+                        return 0.0
+
+
+                class Pricer:
+                    def __init__(self, oracle: Oracle) -> None:
+                        self.oracle = oracle
+
+                    def price(self) -> float:
+                        return self.oracle.cost(0, 1)
+                """,
+            )
+        )
+        sites = project.graph.calls["repro.fake.pricer.Pricer.price"]
+        assert any("repro.fake.pricer.Oracle.cost" in site.targets for site in sites)
+
+    def test_re_export_chain(self) -> None:
+        project = _project(
+            (
+                "src/repro/fake/a.py",
+                """
+                def source() -> int:
+                    return 1
+                """,
+            ),
+            (
+                "src/repro/fake/b.py",
+                """
+                from repro.fake.a import source
+
+                renamed = source
+                """,
+            ),
+            (
+                "src/repro/fake/c.py",
+                """
+                from repro.fake.b import renamed
+
+
+                def call() -> int:
+                    return renamed()
+                """,
+            ),
+        )
+        sites = project.graph.calls["repro.fake.c.call"]
+        assert any("repro.fake.a.source" in site.targets for site in sites)
+
+    def test_subclass_override_union(self) -> None:
+        project = _project(
+            (
+                "src/repro/fake/events.py",
+                """
+                class Base:
+                    def handle(self) -> int:
+                        return 0
+
+
+                class Child(Base):
+                    def handle(self) -> int:
+                        return 1
+
+
+                def drive(event: Base) -> int:
+                    return event.handle()
+                """,
+            )
+        )
+        sites = project.graph.calls["repro.fake.events.drive"]
+        targets = {target for site in sites for target in site.targets}
+        assert "repro.fake.events.Base.handle" in targets
+        assert "repro.fake.events.Child.handle" in targets
+
+
+class TestEffectPropagation:
+    def test_transitive_mutator_through_three_hops(self) -> None:
+        project = _project(
+            (
+                "src/repro/fake/hops.py",
+                """
+                def sink(items: list) -> None:
+                    items.append(1)
+
+
+                def mid(items: list) -> None:
+                    sink(items)
+
+
+                def top(items: list) -> None:
+                    mid(items)
+                """,
+            )
+        )
+        for name in ("sink", "mid", "top"):
+            effects = project.effects[f"repro.fake.hops.{name}"].effects
+            assert MUTATES_STATE in effects, name
+        assert classify(project.effects["repro.fake.hops.top"].effects) == "mutates-state"
+
+    def test_pure_chain_stays_pure(self) -> None:
+        project = _project(
+            (
+                "src/repro/fake/pure.py",
+                """
+                def double(x: int) -> int:
+                    return x * 2
+
+
+                def quadruple(x: int) -> int:
+                    return double(double(x))
+                """,
+            )
+        )
+        assert classify(project.effects["repro.fake.pure.quadruple"].effects) == "pure"
+
+    def test_seeded_signatures_are_leaves(self) -> None:
+        # The oracle's internal memoisation must not leak mutates-state
+        # into callers: the declared signature wins over the body.
+        project = _project(
+            (
+                "src/repro/fake/oracle.py",
+                """
+                class DistanceOracle:
+                    def cost(self, u: int, v: int) -> float:
+                        self.hits = self.hits + 1  # internal cache counter
+                        return 0.0
+
+
+                def price(oracle: DistanceOracle) -> float:
+                    return oracle.cost(0, 1)
+                """,
+            )
+        )
+        oracle_fx = project.effects["repro.fake.oracle.DistanceOracle.cost"]
+        assert oracle_fx.seeded
+        assert MUTATES_STATE not in oracle_fx.effects
+        caller_fx = project.effects["repro.fake.oracle.price"]
+        assert QUERIES_ORACLE in caller_fx.effects
+        assert classify(caller_fx.effects) == "reads-state"
+
+    def test_network_mutator_signature_propagates(self) -> None:
+        project = _project(
+            (
+                "src/repro/fake/net.py",
+                """
+                class RoadNetwork:
+                    def add_edge(self, u: int, v: int, cost: float) -> None:
+                        pass
+
+
+                def widen(network: RoadNetwork) -> None:
+                    network.add_edge(0, 1, 2.0)
+                """,
+            )
+        )
+        assert MUTATES_NETWORK in project.effects["repro.fake.net.widen"].effects
+
+
+# Fixture name -> (virtual lint path, {code: sorted violation lines}).
+SEMANTIC_FIXTURES = {
+    "ora001_violating.py": ("src/repro/pricing/fixture.py", {"ORA001": [27, 33, 41]}),
+    "ora001_clean.py": ("src/repro/pricing/fixture.py", {}),
+    "ora002_violating.py": ("src/repro/scenarios/fixture.py", {"ORA002": [21, 25]}),
+    "ora002_clean.py": ("src/repro/scenarios/fixture.py", {}),
+    "conc001_violating.py": ("src/repro/dispatch/fixture.py", {"CONC001": [7]}),
+    "conc001_clean.py": ("src/repro/dispatch/fixture.py", {}),
+    "conc002_violating.py": ("src/repro/simulation/fixture.py", {"CONC002": [14, 21, 26]}),
+    "conc002_clean.py": ("src/repro/simulation/fixture.py", {}),
+    "pur001_violating.py": ("src/repro/pricing/fixture.py", {"PUR001": [6, 15, 24]}),
+    "pur001_clean.py": ("src/repro/pricing/fixture.py", {}),
+}
+
+
+class TestSemanticFixtures:
+    @pytest.mark.parametrize("name", sorted(SEMANTIC_FIXTURES))
+    def test_fixture(self, name: str) -> None:
+        virtual_path, expected = SEMANTIC_FIXTURES[name]
+        violations = _lint_fixture(name, virtual_path)
+        actual: dict[str, list[int]] = {}
+        for violation in violations:
+            actual.setdefault(violation.code, []).append(violation.line)
+        assert {c: sorted(lines) for c, lines in actual.items()} == expected
+
+    def test_semantic_violation_is_waivable(self) -> None:
+        source = (FIXTURES / "conc001_violating.py").read_text()
+        marker = "  # line 7: CONC001 (mutated below, read on a dispatch path)"
+        assert marker in source
+        waived = source.replace(
+            marker, "  # repro-lint: disable=CONC001 scratch cache for this fixture"
+        )
+        report = analyze_source("src/repro/dispatch/fixture.py", waived)
+        attach_semantic([report])
+        assert report.violations == []
+
+    def test_reasonless_waiver_still_suppresses_but_flags_wvr001(self) -> None:
+        source = (FIXTURES / "conc001_violating.py").read_text()
+        marker = "  # line 7: CONC001 (mutated below, read on a dispatch path)"
+        waived = source.replace(marker, "  # repro-lint: disable=CONC001")
+        report = analyze_source("src/repro/dispatch/fixture.py", waived)
+        attach_semantic([report])
+        assert [v.code for v in report.violations] == ["WVR001"]
+
+
+class TestDET003RebindRegression:
+    PATH = "src/repro/fake/fixture.py"
+
+    def _det003_lines(self, source: str) -> list[int]:
+        report = analyze_source(self.PATH, textwrap.dedent(source))
+        return [v.line for v in report.violations if v.code == "DET003"]
+
+    def test_frozenset_named_constant_not_flagged(self) -> None:
+        assert (
+            self._det003_lines(
+                """
+                KINDS = frozenset({"a", "b"})
+                for kind in KINDS:
+                    print(kind)
+                """
+            )
+            == []
+        )
+
+    def test_rebound_to_sorted_not_flagged(self) -> None:
+        assert (
+            self._det003_lines(
+                """
+                def order(items: list) -> list:
+                    pending = set(items)
+                    pending = sorted(pending)
+                    return [x for x in pending]
+                """
+            )
+            == []
+        )
+
+    def test_iteration_before_rebind_still_flagged(self) -> None:
+        lines = self._det003_lines(
+            """
+            def order(items: list) -> list:
+                pending = set(items)
+                out = [x for x in pending]
+                pending = sorted(pending)
+                return out
+            """
+        )
+        assert lines == [4]
+
+    def test_direct_frozenset_iteration_still_flagged(self) -> None:
+        lines = self._det003_lines(
+            """
+            for kind in frozenset({"a", "b"}):
+                print(kind)
+            """
+        )
+        assert lines == [2]
+
+    def test_plain_set_still_flagged(self) -> None:
+        lines = self._det003_lines(
+            """
+            def order(items: list) -> list:
+                pending = set(items)
+                return [x for x in pending]
+            """
+        )
+        assert lines == [4]
+
+
+class TestExports:
+    def _small_project(self) -> ProjectAnalysis:
+        return _project(
+            (
+                "src/repro/fake/mod.py",
+                """
+                def leaf() -> int:
+                    return 1
+
+
+                def caller() -> int:
+                    return leaf()
+                """,
+            )
+        )
+
+    def test_call_graph_json_shape(self) -> None:
+        data = call_graph_json(self._small_project())
+        assert data["version"] == 1
+        by_name = {fn["qualname"]: fn for fn in data["functions"]}
+        leaf = by_name["repro.fake.mod.leaf"]
+        assert leaf["classification"] == "pure"
+        assert leaf["fan_in"] == 1
+        caller = by_name["repro.fake.mod.caller"]
+        assert caller["calls"][0]["targets"] == ["repro.fake.mod.leaf"]
+
+    def test_call_graph_dot(self) -> None:
+        dot = call_graph_dot(self._small_project())
+        assert dot.startswith("digraph callgraph {")
+        assert '"fake.mod.caller" -> "fake.mod.leaf";' in dot
+
+    def test_summary_tables(self) -> None:
+        text = summary_tables(self._small_project())
+        assert "Top fan-in" in text
+        assert "Top mutators" in text
+        assert "`fake.mod.leaf`" in text
+
+    def test_cli_call_graph_export(self, tmp_path: Path) -> None:
+        out = tmp_path / "cg.json"
+        code = lint_main(
+            [
+                str(REPO / "src" / "repro" / "analysis"),
+                "--root",
+                str(REPO),
+                "--no-baseline",
+                "--call-graph",
+                str(out),
+            ]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["version"] == 1
+        assert data["functions"]
+
+    def test_cli_summary_includes_call_graph_tables(self, tmp_path: Path) -> None:
+        out = tmp_path / "summary.md"
+        code = lint_main(
+            [
+                str(REPO / "src" / "repro" / "analysis"),
+                "--root",
+                str(REPO),
+                "--no-baseline",
+                "--summary",
+                str(out),
+            ]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert "Top fan-in" in text
+        assert "Top mutators" in text
+        assert "| ORA001 |" in text
+
+
+class TestLiveTreeAcceptance:
+    def test_src_tree_semantically_clean_within_budget(self) -> None:
+        started = time.perf_counter()
+        reports, project = analyze_project([REPO / "src"], REPO)
+        elapsed = time.perf_counter() - started
+        assert project is not None
+        semantic = [
+            violation
+            for report in reports
+            for violation in report.violations
+            if violation.code.startswith(("ORA", "CONC", "PUR"))
+        ]
+        assert semantic == [], [v.render() for v in semantic]
+        assert elapsed < 10.0, f"semantic pass took {elapsed:.1f}s"
