@@ -8,8 +8,9 @@ refresh retries, breaker trips, batches run on the degraded dispatcher,
 invariant-probe failures with their self-healing rebuilds, and the recovery
 latency (wall-clock spent inside failure handling).
 
-The grid itself lives in :func:`repro.experiments.harness.run_chaos_grid`
-(one code path for experiments, this benchmark and CI).  Every run verifies
+Every cell goes through the harness front door
+(:func:`repro.experiments.harness.run` with ``mode="chaos"`` specs -- one
+code path for experiments, this benchmark and CI).  Every run verifies
 each accepted assignment's leg costs against a fresh Dijkstra over the
 mutated network, so a row in the table is also a proof that the run stayed
 parity-exact under its fault sequence.
@@ -24,9 +25,10 @@ from __future__ import annotations
 import sys
 
 from repro.experiments.harness import (
+    RunSpec,
     deterministic_summary,
-    run_chaos_case,
-    run_chaos_grid,
+    run,
+    run_grid,
 )
 
 from _common import RESULTS_DIR, save_text
@@ -103,15 +105,26 @@ def format_markdown(rows: list[dict], *, title: str) -> str:
     return "\n".join(lines)
 
 
+def _case(scenario: str, backend: str, policy: str, **kwargs) -> dict:
+    row = run(RunSpec(
+        mode="chaos", scenario=scenario, backend=backend,
+        refresh_policy=policy, **kwargs,
+    )).row
+    assert row is not None
+    return row
+
+
 def _grid(chaos_names, *, scale: float) -> list[dict]:
     rows = []
     for chaos in chaos_names:
-        for row in run_chaos_grid(
-            SCENARIOS, BACKENDS, POLICIES,
-            chaos=chaos, scale=scale, city_scale=CITY_SCALE,
+        specs = RunSpec.grid(
+            scenarios=SCENARIOS, backends=BACKENDS, policies=POLICIES,
+            mode="chaos", chaos=chaos, scale=scale, city_scale=CITY_SCALE,
             algorithm=ALGORITHM,
-        ):
-            rows.append({"chaos": chaos, **row})
+        )
+        for outcome in run_grid(specs):
+            assert outcome.row is not None
+            rows.append({"chaos": chaos, **outcome.row})
     return rows
 
 
@@ -154,7 +167,7 @@ def test_meltdown_engages_the_full_ladder():
     degradation ladder on stadium_surge: breaker trips, degraded-dispatcher
     batches and probe-triggered self-heals all nonzero."""
     for policy in POLICIES:
-        row = run_chaos_case(
+        row = _case(
             "stadium_surge", "ch", policy,
             chaos="oracle_meltdown", scale=0.05, city_scale=0.35,
         )
@@ -167,8 +180,8 @@ def test_meltdown_engages_the_full_ladder():
 def test_chaos_runs_are_reproducible():
     """Same seed, same fault sequence, same non-timing metrics."""
     kwargs = dict(chaos="flaky_oracle", scale=0.05, city_scale=0.35)
-    first = run_chaos_case("stadium_surge", "ch", "coalesce", **kwargs)
-    second = run_chaos_case("stadium_surge", "ch", "coalesce", **kwargs)
+    first = _case("stadium_surge", "ch", "coalesce", **kwargs)
+    second = _case("stadium_surge", "ch", "coalesce", **kwargs)
     assert deterministic_summary(first) == deterministic_summary(second)
 
 
@@ -176,7 +189,7 @@ def test_degraded_batches_cost_less_dispatch_time():
     """The degradation trade: under meltdown spikes the degraded dispatcher
     keeps serving (service rate stays positive) while the overrun accounting
     shows the budget pressure that tripped it."""
-    row = run_chaos_case(
+    row = _case(
         "stadium_surge", "ch", "eager",
         chaos="oracle_meltdown", scale=0.05, city_scale=0.35,
     )

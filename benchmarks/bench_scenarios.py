@@ -8,8 +8,9 @@ wall-clock cost, incremental repairs (nodes re-contracted, snapshot hits),
 queries served by the exact Dijkstra fallback while the structures were
 dirty, and the stale-window time.
 
-The grid itself lives in :func:`repro.experiments.harness.run_scenario_grid`
-(one code path for experiments, this benchmark and CI); every run here
+Every cell goes through the harness front door
+(:func:`repro.experiments.harness.run` with ``mode="scenario"`` specs --
+one code path for experiments, this benchmark and CI); every run here
 enables the harness parity probe, i.e. *after every world event burst* the
 scenario oracle is checked against a fresh Dijkstra over the mutated network
 and every returned path is checked to avoid closed edges.
@@ -26,11 +27,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.experiments.harness import (
-    run_scenario_case,
-    run_scenario_grid,
-    run_traced_case,
-)
+from repro.experiments.harness import RunSpec, run, run_grid
 
 from _common import RESULTS_DIR, save_json, save_text
 
@@ -104,9 +101,25 @@ def format_markdown(rows: list[dict], *, title: str) -> str:
     return "\n".join(lines)
 
 
+def _grid_rows(**common) -> list[dict]:
+    specs = RunSpec.grid(
+        scenarios=SCENARIOS, backends=BACKENDS, policies=POLICIES,
+        mode="scenario", **common,
+    )
+    return [outcome.row for outcome in run_grid(specs) if outcome.row]
+
+
+def _case(scenario: str, backend: str, policy: str, **kwargs) -> dict:
+    row = run(RunSpec(
+        mode="scenario", scenario=scenario, backend=backend,
+        refresh_policy=policy, **kwargs,
+    )).row
+    assert row is not None
+    return row
+
+
 def full_rows() -> list[dict]:
-    return run_scenario_grid(
-        SCENARIOS, BACKENDS, POLICIES,
+    return _grid_rows(
         scale=SCALE, city_scale=CITY_SCALE,
         algorithm=ALGORITHM, parity_pairs=PARITY_PAIRS,
     )
@@ -114,8 +127,7 @@ def full_rows() -> list[dict]:
 
 def smoke_rows() -> list[dict]:
     """The CI grid: both scenarios x both backends x all four policies."""
-    return run_scenario_grid(
-        SCENARIOS, BACKENDS, POLICIES,
+    return _grid_rows(
         scale=0.04, city_scale=CITY_SCALE,
         algorithm="pruneGDP", parity_pairs=12,
     )
@@ -147,8 +159,8 @@ def test_scenario_refresh_overhead_smoke():
 def test_policies_trade_rebuilds_for_fallback():
     """Deferred/coalesce must actually serve fallback queries where eager
     never does, on the same bridge_closure scenario."""
-    eager = run_scenario_case("bridge_closure", "ch", "eager", scale=0.05)
-    coalesce = run_scenario_case("bridge_closure", "ch", "coalesce", scale=0.05)
+    eager = _case("bridge_closure", "ch", "eager", scale=0.05)
+    coalesce = _case("bridge_closure", "ch", "coalesce", scale=0.05)
     assert eager["fallback_q"] == 0
     assert coalesce["fallback_q"] > 0
     assert coalesce["stale_ms"] > 0.0
@@ -161,11 +173,11 @@ def test_repair_beats_eager_rebuild():
     rebuild-per-burst -- and any incremental re-contraction stays under 20%
     of the nodes per burst (the policy's fraction cap guarantees it)."""
     for scenario in SCENARIOS:
-        eager = run_scenario_case(
+        eager = _case(
             scenario, "ch", "eager",
             scale=SCALE, city_scale=CITY_SCALE, parity_pairs=PARITY_PAIRS,
         )
-        repair = run_scenario_case(
+        repair = _case(
             scenario, "ch", "repair",
             scale=SCALE, city_scale=CITY_SCALE, parity_pairs=PARITY_PAIRS,
         )
@@ -178,8 +190,11 @@ def main() -> None:
         # Observability artifacts for the CI job: one traced SARD run whose
         # span trace, Prometheus snapshot and markdown report land next to
         # the benchmark tables (uploaded as CI artifacts / job summary).
-        _, paths = run_traced_case(RESULTS_DIR, name="traced_run")
-        for kind, path in sorted(paths.items()):
+        outcome = run(RunSpec(
+            mode="traced", out_dir=RESULTS_DIR, name="traced_run",
+        ))
+        assert outcome.artifacts is not None
+        for kind, path in sorted(outcome.artifacts.items()):
             print(f"{kind}: {path}")
         return
     if "--smoke" in sys.argv:

@@ -1,0 +1,212 @@
+"""Throughput benchmark of the dispatch service front door.
+
+Pushes the NYC synthetic workload through :class:`repro.service.DispatchService`
+(typed ingestion -> bounded queue -> virtual-clock batch tick -> streamed
+assignment events) on both preprocessed routing backends (``ch`` |
+``hub_label``) and reports the sustained ingest-to-assignment rate in
+requests/s.  The number is only meaningful *at the service-rate SLO*
+(:class:`repro.config.ServiceConfig.slo_service_rate`): throughput with
+unbounded rejections is free, so every row asserts the SLO was met before
+its requests/s figure counts.
+
+Two invariants are asserted alongside the timings:
+
+* **SLO**: every measured run assigns at least ``slo_service_rate`` of the
+  accepted requests (the paper-level service-rate objective);
+* **parity**: the service-mode run produces exactly the same assignments
+  (request, vehicle) as one batch :meth:`repro.simulation.Simulator.run`
+  over the same workload -- the service layer adds an API, not a behaviour.
+
+Results land in ``benchmarks/results/service_throughput.txt`` with a JSON
+twin that ``check_regression.py`` consumes (``query_us`` holds the
+per-request microseconds per backend, same shape as the oracle benchmark,
+so the existing gate machinery applies unchanged).
+
+Run directly (``python benchmarks/bench_service_throughput.py``) for the
+full table, ``--smoke`` for the faster CI variant, or through pytest like
+the other benchmark modules.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.config import ServiceConfig
+from repro.dispatch import make_dispatcher
+from repro.service import DispatchService, RideRequest
+from repro.simulation.engine import Simulator
+from repro.simulation.events import EventKind
+from repro.workloads.presets import make_workload
+
+from _common import save_json, save_text
+
+BACKENDS = ("ch", "hub_label")
+#: Workload scale of the full benchmark (the smoke run shrinks it).
+SCALE = 0.08
+CITY_SCALE = 0.4
+ALGORITHM = "SARD"
+REPEATS = 3
+#: Queue sized for the full trace so admission control never intrudes on
+#: the throughput number (overload behaviour has its own tests).
+SERVICE = ServiceConfig(queue_capacity=4096)
+
+
+def _assignment_pairs(events) -> list[tuple[int, int]]:
+    """Sorted (request, vehicle) pairs of a run's accepted assignments."""
+    return sorted(
+        (event.subject, event.other)
+        for event in events.of_kind(EventKind.REQUEST_ASSIGNED)
+    )
+
+
+def measure_backend(
+    backend: str, *, scale: float = SCALE, repeats: int = REPEATS
+) -> dict:
+    """Time the service loop on one routing backend; returns one table row.
+
+    The oracle is preprocessed *before* the clock starts (build time is the
+    oracle benchmark's story, reported here only for context), each repeat
+    runs the whole trace through a fresh service on fresh vehicles, and the
+    best repeat is the sustained rate -- matching how the other
+    microbenchmarks report.
+    """
+    workload = make_workload("nyc", scale=scale, city_scale=CITY_SCALE)
+    requests = [RideRequest.from_request(r) for r in workload.requests]
+    build_start = time.perf_counter()
+    oracle = workload.fresh_oracle(backend=backend)
+    first = workload.requests[0]
+    oracle.cost(first.source, first.destination)  # force the lazy preprocessing
+    build_ms = (time.perf_counter() - build_start) * 1e3
+    best_seconds = float("inf")
+    outcome = None
+    for _ in range(repeats):
+        service = DispatchService(
+            network=workload.network,
+            oracle=oracle,
+            vehicles=workload.fresh_vehicles(),
+            dispatcher=make_dispatcher(ALGORITHM),
+            config=workload.simulation_config,
+            service_config=SERVICE,
+        )
+        start = time.perf_counter()
+        outcome = service.serve(requests)
+        best_seconds = min(best_seconds, time.perf_counter() - start)
+    assert outcome is not None
+    stats = outcome.stats
+    assert stats.rejected in (None, {}) or not any(stats.rejected.values()), (
+        f"{backend}: admission control intruded on the throughput run: "
+        f"{stats.rejected}"
+    )
+    assert outcome.slo_met, (
+        f"{backend}: service rate {outcome.service_rate:.3f} below the "
+        f"SLO {outcome.slo_service_rate:.2f}; requests/s would be meaningless"
+    )
+    # Parity: the service run must equal one batch Simulator.run().
+    batch = Simulator(
+        network=workload.network,
+        oracle=oracle,
+        vehicles=workload.fresh_vehicles(),
+        requests=list(workload.requests),
+        dispatcher=make_dispatcher(ALGORITHM),
+        config=workload.simulation_config,
+        record_events=True,
+    ).run()
+    assert _assignment_pairs(outcome.simulation.events) == _assignment_pairs(
+        batch.events
+    ), f"{backend}: service-mode assignments diverged from the batch run"
+    return {
+        "backend": backend,
+        "requests": stats.received,
+        "assigned": stats.assigned,
+        "batches": stats.batches,
+        "service_rate": outcome.service_rate,
+        "slo": outcome.slo_service_rate,
+        "build_ms": build_ms,
+        "rps": stats.received / best_seconds,
+        "us_per_request": best_seconds / stats.received * 1e6,
+    }
+
+
+def measure_all(*, scale: float = SCALE, repeats: int = REPEATS) -> list[dict]:
+    return [
+        measure_backend(backend, scale=scale, repeats=repeats)
+        for backend in BACKENDS
+    ]
+
+
+def results_payload(rows: list[dict], *, scale: float) -> dict:
+    """Machine-readable twin (``service_throughput.json``).
+
+    ``query_us`` maps backend -> per-request microseconds -- the same shape
+    as ``oracle_backends.json``, so :mod:`repro.experiments.regression`
+    loads and gates it without a second parser.
+    """
+    return {
+        "benchmark": "service_throughput",
+        "scale": scale,
+        "city_scale": CITY_SCALE,
+        "algorithm": ALGORITHM,
+        "slo_service_rate": SERVICE.slo_service_rate,
+        "query_us": {row["backend"]: row["us_per_request"] for row in rows},
+        "rps": {row["backend"]: row["rps"] for row in rows},
+        "rows": rows,
+    }
+
+
+def format_table(rows: list[dict], *, scale: float) -> str:
+    lines = [
+        "Dispatch service throughput: sustained requests/s at the "
+        f"service-rate SLO >= {SERVICE.slo_service_rate:.2f} "
+        f"(NYC scale {CITY_SCALE}, {ALGORITHM}, request scale {scale}, "
+        f"best of {REPEATS}, parity-checked against one batch run)",
+        f"{'backend':12s} {'requests':>8s} {'assigned':>8s} {'batches':>7s} "
+        f"{'svc rate':>8s} {'build ms':>9s} {'req/s':>8s} {'us/req':>8s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['backend']:12s} {row['requests']:8d} {row['assigned']:8d} "
+            f"{row['batches']:7d} {row['service_rate']:8.3f} "
+            f"{row['build_ms']:9.1f} {row['rps']:8.0f} "
+            f"{row['us_per_request']:8.1f}"
+        )
+    lines += [
+        "",
+        "Every row met the SLO and reproduced the batch harness' assignments "
+        "exactly (the service layer adds an API, not a behaviour).",
+    ]
+    return "\n".join(lines)
+
+
+def _save(rows: list[dict], *, scale: float) -> None:
+    save_text("service_throughput", format_table(rows, scale=scale))
+    save_json("service_throughput", results_payload(rows, scale=scale))
+
+
+# ---------------------------------------------------------------------- #
+# pytest entry points (mirroring the other benchmark modules)
+# ---------------------------------------------------------------------- #
+def test_service_throughput_smoke():
+    """The CI gate: both backends sustain the SLO, stay parity-exact with
+    the batch harness and report a positive requests/s figure.
+
+    The smoke run keeps the full request scale (so its us/request rows
+    compare like-for-like with the committed baseline in the regression
+    gate) and only drops the repeat count.
+    """
+    rows = measure_all(scale=SCALE, repeats=1)
+    for row in rows:
+        assert row["rps"] > 0, row
+        assert row["service_rate"] >= row["slo"], row
+    _save(rows, scale=SCALE)
+
+
+def main() -> None:
+    if "--smoke" in sys.argv:
+        _save(measure_all(scale=SCALE, repeats=1), scale=SCALE)
+        return
+    _save(measure_all(), scale=SCALE)
+
+
+if __name__ == "__main__":
+    main()

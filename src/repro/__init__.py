@@ -11,24 +11,34 @@ user typically needs:
   :class:`Schedule`),
 * the shareability graph and its builder,
 * the SARD dispatcher and the five baselines,
-* the batch simulator and the experiment harness.
+* the batch simulator, the dispatch service and the experiment harness.
 
-Quick start::
+Quick start -- dispatch as a service::
 
-    from repro import make_workload, Simulator, SARDDispatcher
+    from repro import DispatchService, RideRequest, SARDDispatcher, make_workload
 
     workload = make_workload("nyc", scale=0.1)
-    simulator = Simulator(
+    service = DispatchService(
         network=workload.network,
         oracle=workload.fresh_oracle(),
         vehicles=workload.fresh_vehicles(),
-        requests=workload.requests,
         dispatcher=SARDDispatcher(),
         config=workload.simulation_config,
     )
-    result = simulator.run()
-    print(result.service_rate, result.unified_cost)
+    outcome = service.serve(
+        RideRequest.from_request(r) for r in workload.requests
+    )
+    print(outcome.service_rate, outcome.unified_cost)
+
+or, for one-call experiment runs, the harness front door::
+
+    from repro import RunSpec, run
+
+    outcome = run(RunSpec(mode="single", preset="nyc", algorithm="SARD"))
+    print(outcome.simulation.service_rate)
 """
+
+import warnings
 
 from .config import (
     ChaosConfig,
@@ -36,6 +46,7 @@ from .config import (
     ExperimentConfig,
     ResilienceConfig,
     ScenarioConfig,
+    ServiceConfig,
     SimulationConfig,
     WorkloadConfig,
 )
@@ -52,6 +63,8 @@ from .exceptions import (
     ResilienceError,
     ScenarioError,
     ScheduleError,
+    SchemaError,
+    ServiceError,
     UnreachableError,
     WorkloadError,
 )
@@ -139,9 +152,70 @@ from .observability import (
     use_tracer,
     write_run_artifacts,
 )
-from .experiments import ExperimentRunner, ResultRow, SweepResult, run_traced_case
+from .service import (
+    Admission,
+    AssignmentEvent,
+    AssignmentEventKind,
+    DispatchService,
+    IngestionQueue,
+    RejectionReason,
+    RideRequest,
+    ServiceResult,
+    ServiceStats,
+)
+from .experiments import (
+    ExperimentRunner,
+    ResultRow,
+    RunResult,
+    RunSpec,
+    SweepResult,
+    run,
+    run_grid,
+)
 
 __version__ = "1.0.0"
+
+#: Old top-level names served lazily (with a DeprecationWarning) by
+#: :func:`__getattr__`: name -> (harness attribute, suggested replacement).
+_DEPRECATED_ALIASES: dict[str, tuple[str, str]] = {
+    "run_traced_case": ("run_traced_case", 'run(RunSpec(mode="traced", ...))'),
+    "run_scenario_case": (
+        "run_scenario_case", 'run(RunSpec(mode="scenario", ...))'
+    ),
+    "run_scenario_grid": (
+        "run_scenario_grid", 'run_grid(RunSpec.grid(mode="scenario", ...))'
+    ),
+    "run_chaos_case": ("run_chaos_case", 'run(RunSpec(mode="chaos", ...))'),
+    "run_chaos_grid": (
+        "run_chaos_grid", 'run_grid(RunSpec.grid(mode="chaos", ...))'
+    ),
+}
+
+
+def __getattr__(name: str):
+    """Deprecation shim: keep the pre-service import paths alive.
+
+    ``from repro import run_traced_case`` (and the scenario/chaos case and
+    grid helpers) still work, but resolving the attribute emits a
+    :class:`DeprecationWarning` naming the :func:`run`/:class:`RunSpec`
+    replacement.  The returned callables are the harness' own delegating
+    wrappers, so *calling* them warns too.
+    """
+    try:
+        attr, replacement = _DEPRECATED_ALIASES[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    warnings.warn(
+        f"importing {name} from the repro package is deprecated; "
+        f"use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from . import experiments
+
+    return getattr(experiments.harness, attr)
 
 __all__ = [
     "__version__",
@@ -150,6 +224,7 @@ __all__ = [
     "WorkloadConfig",
     "ExperimentConfig",
     "ScenarioConfig",
+    "ServiceConfig",
     "ChaosConfig",
     "ResilienceConfig",
     "DemandSurge",
@@ -168,6 +243,8 @@ __all__ = [
     "OracleBuildError",
     "OracleRepairError",
     "InjectedFaultError",
+    "ServiceError",
+    "SchemaError",
     # network substrate
     "RoadNetwork",
     "DistanceOracle",
@@ -252,9 +329,22 @@ __all__ = [
     "prometheus_text",
     "markdown_report",
     "write_run_artifacts",
+    # dispatch service
+    "DispatchService",
+    "ServiceResult",
+    "IngestionQueue",
+    "Admission",
+    "RideRequest",
+    "AssignmentEvent",
+    "AssignmentEventKind",
+    "ServiceStats",
+    "RejectionReason",
     # experiments
     "ExperimentRunner",
     "SweepResult",
     "ResultRow",
-    "run_traced_case",
+    "RunSpec",
+    "RunResult",
+    "run",
+    "run_grid",
 ]

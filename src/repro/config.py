@@ -38,6 +38,12 @@ DEFAULT_ANGLE_THRESHOLD = math.pi / 2.0
 #: so the config layer stays import-free of the scenario package).
 REFRESH_POLICIES = ("eager", "deferred", "coalesce", "repair")
 
+#: Admission policies accepted by ``ServiceConfig.admission_policy``:
+#: ``reject`` refuses new requests while the ingestion queue is full
+#: (backpressure propagates to the submitter), ``drop_oldest`` sheds the
+#: longest-queued request instead (freshness wins under overload).
+ADMISSION_POLICIES = ("reject", "drop_oldest")
+
 
 def _require_finite(name: str, value: float) -> None:
     """Reject NaN and infinite values with a clear ConfigError.
@@ -337,6 +343,65 @@ class ScenarioConfig:
             )
 
     def with_overrides(self, **overrides: Any) -> "ScenarioConfig":
+        """Return a copy of this configuration with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the dispatch service (:mod:`repro.service`).
+
+    The service wraps the batch simulator in a long-lived loop: an ingestion
+    queue admits typed ride requests, a virtual-clock batch tick drains the
+    queue into the dispatcher, and assignment events stream out to
+    subscribers.  These knobs size the queue, pick the overload behaviour
+    and state the service-rate objective the throughput benchmark reports
+    against.
+    """
+
+    #: Capacity of the ingestion queue.  A full queue either rejects new
+    #: requests or sheds the oldest queued one, per ``admission_policy``;
+    #: async submitters using :meth:`repro.service.IngestionQueue.put` block
+    #: (backpressure) instead of being rejected.
+    queue_capacity: int = 512
+    #: Overload behaviour of a full queue (see :data:`ADMISSION_POLICIES`).
+    admission_policy: str = "reject"
+    #: Assignment events buffered for late subscribers / post-hoc queries
+    #: (0 keeps streaming to live subscribers but retains no history).
+    event_history: int = 10_000
+    #: Service-rate objective: the fraction of accepted requests that must
+    #: be assigned for the service to report a healthy SLO.  The sustained
+    #: requests/s number of ``bench_service_throughput`` is only meaningful
+    #: at this SLO -- throughput with unbounded rejections is free.
+    slo_service_rate: float = 0.75
+    #: Drain queued requests (give each one a dispatch opportunity) before
+    #: shutdown completes; ``False`` rejects everything still queued.
+    drain_on_shutdown: bool = True
+    #: Hard cap on the batches a shutdown drain may tick -- a defence
+    #: against a misconfigured virtual clock never reaching the queue tail.
+    max_drain_batches: int = 100_000
+
+    def __post_init__(self) -> None:
+        _require_finite("slo_service_rate", self.slo_service_rate)
+        if self.queue_capacity < 1:
+            raise ConfigurationError(
+                f"queue_capacity must be at least 1 (got {self.queue_capacity})"
+            )
+        if self.admission_policy not in ADMISSION_POLICIES:
+            raise ConfigurationError(
+                f"admission_policy must be one of {ADMISSION_POLICIES} "
+                f"(got {self.admission_policy!r})"
+            )
+        if self.event_history < 0:
+            raise ConfigurationError("event_history must be non-negative")
+        if not 0.0 <= self.slo_service_rate <= 1.0:
+            raise ConfigurationError(
+                f"slo_service_rate must be in [0, 1] (got {self.slo_service_rate})"
+            )
+        if self.max_drain_batches < 1:
+            raise ConfigurationError("max_drain_batches must be at least 1")
+
+    def with_overrides(self, **overrides: Any) -> "ServiceConfig":
         """Return a copy of this configuration with the given fields replaced."""
         return replace(self, **overrides)
 

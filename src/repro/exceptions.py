@@ -66,6 +66,23 @@ class OracleRepairError(ResilienceError):
     """Raised when an incremental repair keeps failing after retry is exhausted."""
 
 
+class ServiceError(ReproError):
+    """Raised when the dispatch service is driven outside its lifecycle.
+
+    Examples: submitting to a service that was never started, ticking a
+    stopped service, or a drain that exceeds the configured batch budget.
+    """
+
+
+class SchemaError(ServiceError):
+    """Raised when a service request/response payload fails validation.
+
+    Covers both construction-time validation (a :class:`RideRequest` with
+    zero riders) and wire-format problems (unknown fields, an incompatible
+    ``schema_version``, malformed JSON).
+    """
+
+
 class InjectedFaultError(ReproError):
     """Raised by the fault injector to simulate a backend build/repair crash.
 

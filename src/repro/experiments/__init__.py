@@ -1,21 +1,35 @@
 """Experiment harness reproducing every table and figure of the paper.
 
-* :mod:`~repro.experiments.harness` -- runs one algorithm over one workload
-  and sweeps a parameter across its paper values.
+* :mod:`~repro.experiments.harness` -- the :func:`~repro.experiments.harness.run`
+  front door (one typed :class:`~repro.experiments.harness.RunSpec` per run),
+  the figure sweeps and the scenario/chaos grids.
 * :mod:`~repro.experiments.figures` -- one entry point per paper artefact
   (Figures 8-17, Tables V-VI, the insertion-order study).
 * :mod:`~repro.experiments.reporting` -- turns result rows into the text /
   CSV tables printed by the benchmark harness.
 """
 
-from .harness import ExperimentRunner, ResultRow, SweepResult, run_traced_case
+from .harness import (
+    ExperimentRunner,
+    ResultRow,
+    RunResult,
+    RunSpec,
+    SweepResult,
+    run,
+    run_grid,
+    run_traced_case,
+)
 from .reporting import format_rows, rows_to_csv, series_by_algorithm
 from . import figures
 
 __all__ = [
     "ExperimentRunner",
     "ResultRow",
+    "RunResult",
+    "RunSpec",
     "SweepResult",
+    "run",
+    "run_grid",
     "run_traced_case",
     "format_rows",
     "rows_to_csv",

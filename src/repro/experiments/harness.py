@@ -1,12 +1,20 @@
 """Parameter-sweep harness used by every figure and table reproduction.
 
-Besides the figure sweeps (:class:`ExperimentRunner`), this module owns the
-dynamic-world *scenario grid*: :func:`run_scenario_case` runs one
-``(scenario, backend, refresh-policy)`` cell with an optional exact-parity
-probe after every event burst, and :func:`run_scenario_grid` sweeps the full
-product.  The scenario benchmarks (``benchmarks/bench_scenarios.py``) and
-the CI scenario job are thin wrappers over these two functions, so
-experiments and CI exercise one code path.
+The front door of this module is :func:`run`: one typed :class:`RunSpec`
+describes any kind of run -- a plain single simulation, a dynamic-world
+scenario cell (with optional exact-parity probing), a chaos cell under
+fault injection, a span-traced run with observability artifacts, or a
+service-mode run through :class:`repro.service.DispatchService` -- and
+:func:`run` executes it.  :func:`run_grid` sweeps a list of specs;
+:meth:`RunSpec.grid` builds the scenario x backend x refresh-policy
+product.  The historical entry points (:func:`run_scenario_case`,
+:func:`run_scenario_grid`, :func:`run_chaos_case`, :func:`run_chaos_grid`,
+:func:`run_traced_case`) remain as thin delegating wrappers that emit a
+``DeprecationWarning``.
+
+Besides the front door, :class:`ExperimentRunner` owns the figure sweeps
+(it delegates its per-cell work to :func:`run` as well, so experiments,
+benchmarks and CI exercise one code path).
 """
 
 from __future__ import annotations
@@ -15,13 +23,20 @@ import math
 # DET002 audit: every draw below flows through a seeded random.Random
 # stream; the module-global generator is never called (repro-lint enforced).
 import random
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from collections.abc import Callable, Iterable, Sequence
 from typing import Any
 
 from pathlib import Path
 
-from ..config import ChaosConfig, ResilienceConfig, ScenarioConfig, SimulationConfig
+from ..config import (
+    ChaosConfig,
+    ResilienceConfig,
+    ScenarioConfig,
+    ServiceConfig,
+    SimulationConfig,
+)
 from ..dispatch import make_dispatcher
 from ..dispatch.base import Dispatcher
 from ..exceptions import ConfigurationError, ScenarioError
@@ -37,6 +52,8 @@ from ..scenarios.presets import make_chaos_config, make_scenario_workload
 from ..scenarios.events import WorldView
 from ..scenarios.refresh import make_refresh_policy
 from ..scenarios.timeline import Scenario
+from ..service.schemas import RideRequest
+from ..service.server import DispatchService, ServiceResult
 from ..simulation.engine import SimulationResult, Simulator
 from ..workloads.presets import Workload, make_workload
 
@@ -184,32 +201,21 @@ class ExperimentRunner:
         fresh event timeline is built for the run and the oracle follows the
         mutating network under ``refresh_policy`` (the scenario's own policy
         when ``None``).
+
+        This is a convenience method over the :func:`run` front door --
+        equivalent to ``run(RunSpec(mode="single", workload=..., ...))``.
         """
-        config = simulation_config or workload.simulation_config
-        dispatcher = dispatcher or self._dispatcher_factory(algorithm)
-        timeline = policy = None
-        if scenario is not None:
-            timeline = scenario.make_timeline()
-            policy = make_refresh_policy(
-                refresh_policy, config=scenario.config
-            )
-        elif refresh_policy is not None:
-            raise ConfigurationError(
-                "refresh_policy without a scenario has nothing to refresh; "
-                "pass the scenario whose timeline mutates the network"
-            )
-        simulator = Simulator(
-            network=workload.network,
-            oracle=workload.fresh_oracle(backend=config.routing_backend),
-            vehicles=workload.fresh_vehicles(),
-            requests=list(workload.requests),
-            dispatcher=dispatcher,
-            config=config,
-            record_events=False,
-            timeline=timeline,
-            refresh_policy=policy,
-        )
-        return simulator.run()
+        outcome = run(RunSpec(
+            mode="single",
+            workload=workload,
+            algorithm=algorithm,
+            simulation_config=simulation_config,
+            dispatcher=dispatcher or self._dispatcher_factory(algorithm),
+            scenario=scenario,
+            refresh_policy=refresh_policy,
+        ))
+        assert outcome.simulation is not None
+        return outcome.simulation
 
     # ------------------------------------------------------------------ #
     def sweep(
@@ -318,6 +324,286 @@ class ExperimentRunner:
 
 
 # ---------------------------------------------------------------------- #
+# the unified run() front door
+# ---------------------------------------------------------------------- #
+#: Run kinds the front door understands.
+RUN_MODES = ("single", "scenario", "chaos", "traced", "service")
+
+#: RunSpec fields that only make sense for specific modes; validation
+#: rejects stray combinations so a typo'd spec fails loudly, not silently.
+_MODE_ONLY_FIELDS: dict[str, tuple[str, ...]] = {
+    "parity_pairs": ("scenario",),
+    "chaos": ("chaos",),
+    "resilience": ("chaos",),
+    "out_dir": ("traced",),
+    "trace_config": ("traced",),
+    "service_config": ("service",),
+}
+
+
+@dataclass(frozen=True, kw_only=True)
+class RunSpec:
+    """One typed description of a harness run (the input of :func:`run`).
+
+    ``mode`` selects the run kind:
+
+    ``single``
+        One algorithm over one workload (a prebuilt :class:`Workload` via
+        ``workload=`` or a preset built from the size knobs).
+    ``scenario``
+        One (``scenario``, ``backend``, ``refresh_policy``) cell of the
+        dynamic-world grid, with optional exact-parity probing.
+    ``chaos``
+        The same cell wrapped in fault injection + the resilience ladder.
+    ``traced``
+        A span-traced run writing trace/Prometheus/markdown artifacts to
+        ``out_dir``.
+    ``service``
+        The workload's trace replayed through
+        :class:`repro.service.DispatchService` (assignments are
+        parity-exact with mode ``single`` on the same workload).
+    """
+
+    mode: str = "single"
+    # -- workload shape -------------------------------------------------- #
+    preset: str = "nyc"
+    #: Request-count scale for preset-built workloads.
+    scale: float = 0.08
+    city_scale: float = 0.4
+    num_requests: int | None = None
+    num_vehicles: int | None = None
+    #: Routing backend override (``None`` keeps the preset's).
+    backend: str | None = None
+    #: Prebuilt workload (modes ``single`` / ``service``); skips the preset.
+    workload: Workload | None = None
+    # -- algorithm / simulation ------------------------------------------ #
+    #: Dispatcher name; ``None`` picks the mode's default (``SARD``, or
+    #: ``pruneGDP`` for chaos runs).
+    algorithm: str | None = None
+    dispatcher: Dispatcher | None = None
+    simulation_config: SimulationConfig | None = None
+    # -- dynamic world --------------------------------------------------- #
+    #: Scenario name (modes ``scenario`` / ``chaos``) or a prebuilt
+    #: :class:`~repro.scenarios.timeline.Scenario` (mode ``single``).
+    scenario: str | Scenario | None = None
+    refresh_policy: str | None = None
+    scenario_config: ScenarioConfig | None = None
+    parity_pairs: int = 0
+    parity_seed: int = 99
+    # -- chaos ----------------------------------------------------------- #
+    chaos: str | ChaosConfig | None = None
+    resilience: ResilienceConfig | None = None
+    # -- traced ---------------------------------------------------------- #
+    out_dir: str | Path | None = None
+    name: str = "traced_run"
+    trace_config: TraceConfig | None = None
+    # -- service --------------------------------------------------------- #
+    service_config: ServiceConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in RUN_MODES:
+            raise ConfigurationError(
+                f"mode must be one of {RUN_MODES} (got {self.mode!r})"
+            )
+        if self.scale <= 0 or self.city_scale <= 0:
+            raise ConfigurationError("scale and city_scale must be positive")
+        if self.workload is not None and not isinstance(self.workload, Workload):
+            raise ConfigurationError(
+                "workload= takes a built Workload; preset names go in preset= "
+                f"(got {self.workload!r})"
+            )
+        if self.parity_pairs < 0:
+            raise ConfigurationError("parity_pairs must be non-negative")
+        for field_name, modes in _MODE_ONLY_FIELDS.items():
+            value = getattr(self, field_name)
+            if value not in (None, 0) and self.mode not in modes:
+                raise ConfigurationError(
+                    f"{field_name}= only applies to mode(s) {modes} "
+                    f"(spec has mode {self.mode!r})"
+                )
+        if self.mode in ("scenario", "chaos"):
+            if not isinstance(self.scenario, str):
+                raise ConfigurationError(
+                    f"mode {self.mode!r} needs a scenario *name* "
+                    f"(got {self.scenario!r})"
+                )
+            if not self.backend or not self.refresh_policy:
+                raise ConfigurationError(
+                    f"mode {self.mode!r} needs backend= and refresh_policy="
+                )
+        if self.mode == "traced" and self.out_dir is None:
+            raise ConfigurationError("mode 'traced' needs out_dir=")
+        if isinstance(self.scenario, Scenario) and self.mode not in (
+            "single", "service"
+        ):
+            raise ConfigurationError(
+                "a prebuilt Scenario only applies to modes 'single'/'service'"
+            )
+
+    def with_overrides(self, **overrides: Any) -> "RunSpec":
+        """Return a copy of this spec with the given fields replaced."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def grid(
+        cls,
+        *,
+        scenarios: Sequence[str],
+        backends: Sequence[str],
+        policies: Sequence[str],
+        **common: Any,
+    ) -> list["RunSpec"]:
+        """Specs for the scenario x backend x refresh-policy product.
+
+        ``common`` (including ``mode="scenario"`` or ``mode="chaos"``) is
+        applied to every cell; feed the result to :func:`run_grid`.
+        """
+        return [
+            cls(
+                scenario=scenario,
+                backend=backend,
+                refresh_policy=policy,
+                **common,
+            )
+            for scenario in scenarios
+            for backend in backends
+            for policy in policies
+        ]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """What :func:`run` produced; which fields are set depends on the mode.
+
+    ``simulation`` is set for every mode except ``service`` (which carries
+    the full :class:`~repro.service.ServiceResult` in ``service``, with the
+    simulation result nested inside it); ``row`` is the flat metric row of
+    grid cells; ``artifacts`` maps artifact kinds to written paths for
+    traced runs.
+    """
+
+    spec: RunSpec
+    simulation: SimulationResult | None = None
+    row: dict[str, Any] | None = None
+    artifacts: dict[str, Path] | None = None
+    service: ServiceResult | None = None
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} from repro.experiments.harness",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _build_workload(spec: RunSpec) -> Workload:
+    """Materialise the workload a preset-shaped spec describes."""
+    if spec.workload is not None:
+        return spec.workload
+    overrides: dict[str, object] = {}
+    if spec.num_requests is not None:
+        overrides["num_requests"] = spec.num_requests
+    if spec.num_vehicles is not None:
+        overrides["num_vehicles"] = spec.num_vehicles
+    return make_workload(
+        spec.preset,
+        scale=spec.scale,
+        city_scale=spec.city_scale,
+        workload_overrides=overrides or None,
+        simulation_overrides=(
+            {"routing_backend": spec.backend} if spec.backend else None
+        ),
+    )
+
+
+def _single_impl(spec: RunSpec) -> "RunResult":
+    """One algorithm over one workload (optionally under a built Scenario)."""
+    workload = _build_workload(spec)
+    config = spec.simulation_config or workload.simulation_config
+    dispatcher = spec.dispatcher or make_dispatcher(spec.algorithm or "SARD")
+    timeline = policy = None
+    if isinstance(spec.scenario, Scenario):
+        timeline = spec.scenario.make_timeline()
+        policy = make_refresh_policy(
+            spec.refresh_policy, config=spec.scenario.config
+        )
+    elif spec.refresh_policy is not None:
+        raise ConfigurationError(
+            "refresh_policy without a scenario has nothing to refresh; "
+            "pass the scenario whose timeline mutates the network"
+        )
+    simulator = Simulator(
+        network=workload.network,
+        oracle=workload.fresh_oracle(backend=config.routing_backend),
+        vehicles=workload.fresh_vehicles(),
+        requests=list(workload.requests),
+        dispatcher=dispatcher,
+        config=config,
+        record_events=False,
+        timeline=timeline,
+        refresh_policy=policy,
+    )
+    return RunResult(spec=spec, simulation=simulator.run())
+
+
+def _service_impl(spec: RunSpec) -> "RunResult":
+    """Replay the workload's trace through the dispatch service.
+
+    The service drives the simulator's stepwise interface, so the returned
+    assignments are parity-exact with mode ``single`` over the same
+    workload (events are recorded here -- the service streams them).
+    """
+    workload = _build_workload(spec)
+    config = spec.simulation_config or workload.simulation_config
+    timeline = None
+    policy = spec.refresh_policy
+    if isinstance(spec.scenario, Scenario):
+        timeline = spec.scenario.make_timeline()
+        policy = make_refresh_policy(
+            spec.refresh_policy, config=spec.scenario.config
+        )
+    service = DispatchService(
+        network=workload.network,
+        oracle=workload.fresh_oracle(backend=config.routing_backend),
+        vehicles=workload.fresh_vehicles(),
+        dispatcher=spec.dispatcher or make_dispatcher(spec.algorithm or "SARD"),
+        config=config,
+        service_config=spec.service_config,
+        timeline=timeline,
+        refresh_policy=policy,
+    )
+    result = service.serve(
+        RideRequest.from_request(request) for request in workload.requests
+    )
+    return RunResult(
+        spec=spec, simulation=result.simulation, service=result
+    )
+
+
+def run(spec: RunSpec) -> RunResult:
+    """Execute one :class:`RunSpec` -- the harness's single front door.
+
+    Every experiment, benchmark and CI job funnels through here, so the
+    five run kinds stay behaviourally consistent (one workload builder,
+    one simulator, one service).
+    """
+    impls: dict[str, Callable[[RunSpec], RunResult]] = {
+        "single": _single_impl,
+        "scenario": _scenario_impl,
+        "chaos": _chaos_impl,
+        "traced": _traced_impl,
+        "service": _service_impl,
+    }
+    return impls[spec.mode](spec)
+
+
+def run_grid(specs: Iterable[RunSpec]) -> list[RunResult]:
+    """Run every spec in order (see :meth:`RunSpec.grid`)."""
+    return [run(spec) for spec in specs]
+
+
+# ---------------------------------------------------------------------- #
 # traced runs (observability artifacts: JSONL trace, Prometheus, markdown)
 # ---------------------------------------------------------------------- #
 #: Summary keys pulled into the headline table of the traced-run report.
@@ -330,34 +616,28 @@ TRACED_RUN_HIGHLIGHTS = (
 )
 
 
-def run_traced_case(
-    out_dir: str | Path,
-    *,
-    name: str = "traced_run",
-    preset: str = "nyc",
-    algorithm: str = "SARD",
-    num_requests: int = 80,
-    num_vehicles: int = 12,
-    city_scale: float = 0.4,
-    backend: str | None = None,
-    trace_config: TraceConfig | None = None,
-) -> tuple[SimulationResult, dict[str, Path]]:
+def _traced_impl(spec: "RunSpec") -> "RunResult":
     """Run one workload with span tracing on and write all three exports.
 
-    Unlike :meth:`ExperimentRunner.run_single` the oracle is built *here* so
-    sampled query tracing attaches to the oracle the simulator actually
-    queries.  Emits ``<name>.trace.jsonl`` / ``<name>.prom`` /
-    ``<name>.report.md`` into ``out_dir`` (the CI scenario job uploads them
-    as artifacts) and returns the raw result plus the written paths.
+    Unlike mode ``single`` the oracle is built *here* so sampled query
+    tracing attaches to the oracle the simulator actually queries.  Emits
+    ``<name>.trace.jsonl`` / ``<name>.prom`` / ``<name>.report.md`` into
+    ``spec.out_dir`` (the CI scenario job uploads them as artifacts).
     """
+    algorithm = spec.algorithm or "SARD"
+    num_requests = spec.num_requests if spec.num_requests is not None else 80
+    num_vehicles = spec.num_vehicles if spec.num_vehicles is not None else 12
+    assert spec.out_dir is not None  # enforced by RunSpec validation
     workload = make_workload(
-        preset,
-        city_scale=city_scale,
+        spec.preset,
+        city_scale=spec.city_scale,
         workload_overrides={
             "num_requests": num_requests,
             "num_vehicles": num_vehicles,
         },
-        simulation_overrides={"routing_backend": backend} if backend else None,
+        simulation_overrides=(
+            {"routing_backend": spec.backend} if spec.backend else None
+        ),
     )
     config = workload.simulation_config
     oracle = workload.fresh_oracle(backend=config.routing_backend)
@@ -370,7 +650,7 @@ def run_traced_case(
         config=config,
         record_events=False,
     )
-    with tracing(oracle=oracle, config=trace_config) as tracer:
+    with tracing(oracle=oracle, config=spec.trace_config) as tracer:
         result = simulator.run()
     metrics = result.metrics
     registry = metrics.as_registry()
@@ -385,8 +665,8 @@ def run_traced_case(
         if record.name == "oracle.query":
             query_latency.observe(record.duration)
     paths = write_run_artifacts(
-        out_dir,
-        name,
+        spec.out_dir,
+        spec.name,
         title=(
             f"Traced run: {algorithm} on {workload.name} "
             f"({metrics.total_requests} requests, {num_vehicles} vehicles, "
@@ -397,7 +677,37 @@ def run_traced_case(
         registry=registry,
         highlight_keys=TRACED_RUN_HIGHLIGHTS,
     )
-    return result, paths
+    return RunResult(spec=spec, simulation=result, artifacts=paths)
+
+
+def run_traced_case(
+    out_dir: str | Path,
+    *,
+    name: str = "traced_run",
+    preset: str = "nyc",
+    algorithm: str = "SARD",
+    num_requests: int = 80,
+    num_vehicles: int = 12,
+    city_scale: float = 0.4,
+    backend: str | None = None,
+    trace_config: TraceConfig | None = None,
+) -> tuple[SimulationResult, dict[str, Path]]:
+    """Deprecated wrapper over ``run(RunSpec(mode="traced", ...))``."""
+    _warn_deprecated("run_traced_case", 'run(RunSpec(mode="traced", ...))')
+    outcome = run(RunSpec(
+        mode="traced",
+        out_dir=out_dir,
+        name=name,
+        preset=preset,
+        algorithm=algorithm,
+        num_requests=num_requests,
+        num_vehicles=num_vehicles,
+        city_scale=city_scale,
+        backend=backend,
+        trace_config=trace_config,
+    ))
+    assert outcome.simulation is not None and outcome.artifacts is not None
+    return outcome.simulation, outcome.artifacts
 
 
 # ---------------------------------------------------------------------- #
@@ -447,38 +757,33 @@ def _parity_probe(
     return probe
 
 
-def run_scenario_case(
-    scenario: str,
-    backend: str,
-    policy: str,
-    *,
-    preset: str = "nyc",
-    algorithm: str = "SARD",
-    scale: float = 0.08,
-    city_scale: float = 0.4,
-    parity_pairs: int = 0,
-    parity_seed: int = 99,
-    scenario_config: ScenarioConfig | None = None,
-) -> dict:
+def _scenario_impl(spec: "RunSpec") -> "RunResult":
     """Run one (scenario, backend, refresh-policy) cell of the grid.
 
-    Returns a flat row with the refresh-overhead columns (rebuilds, repair
-    work, fallback queries, stale time) next to the dispatch metrics.  With
+    The row carries the refresh-overhead columns (rebuilds, repair work,
+    fallback queries, stale time) next to the dispatch metrics.  With
     ``parity_pairs > 0`` an exactness probe runs after every event burst
     (once the refresh policy has made the oracle consistent) and raises on
     any divergence from a fresh Dijkstra over the mutated network.
     """
+    scenario = spec.scenario
+    backend = spec.backend
+    policy = spec.refresh_policy
+    assert isinstance(scenario, str) and backend and policy  # RunSpec-validated
+    algorithm = spec.algorithm or "SARD"
     workload, built = make_scenario_workload(
-        preset,
+        spec.preset,
         scenario,
-        scale=scale,
-        city_scale=city_scale,
-        scenario_config=scenario_config,
+        scale=spec.scale,
+        city_scale=spec.city_scale,
+        scenario_config=spec.scenario_config,
         simulation_overrides={"routing_backend": backend},
     )
     context = {"bursts": 0}
     on_applied = (
-        _parity_probe(context, parity_pairs, parity_seed) if parity_pairs else None
+        _parity_probe(context, spec.parity_pairs, spec.parity_seed)
+        if spec.parity_pairs
+        else None
     )
     simulator = Simulator(
         network=workload.network,
@@ -491,10 +796,11 @@ def run_scenario_case(
         timeline=built.make_timeline(on_applied=on_applied),
         refresh_policy=make_refresh_policy(policy, config=built.config),
     )
-    metrics = simulator.run().metrics
-    if parity_pairs and context["bursts"] == 0:
+    result = simulator.run()
+    metrics = result.metrics
+    if spec.parity_pairs and context["bursts"] == 0:
         raise ScenarioError(f"scenario {scenario!r} applied no events")
-    return {
+    row = {
         "scenario": scenario,
         "backend": backend,
         "policy": policy,
@@ -514,6 +820,41 @@ def run_scenario_case(
         "unified_cost": metrics.unified_cost,
         "dispatch_s": metrics.dispatch_seconds,
     }
+    return RunResult(spec=spec, simulation=result, row=row)
+
+
+def run_scenario_case(
+    scenario: str,
+    backend: str,
+    policy: str,
+    *,
+    preset: str = "nyc",
+    algorithm: str = "SARD",
+    scale: float = 0.08,
+    city_scale: float = 0.4,
+    parity_pairs: int = 0,
+    parity_seed: int = 99,
+    scenario_config: ScenarioConfig | None = None,
+) -> dict:
+    """Deprecated wrapper over ``run(RunSpec(mode="scenario", ...))``."""
+    _warn_deprecated(
+        "run_scenario_case", 'run(RunSpec(mode="scenario", ...))'
+    )
+    outcome = run(RunSpec(
+        mode="scenario",
+        scenario=scenario,
+        backend=backend,
+        refresh_policy=policy,
+        preset=preset,
+        algorithm=algorithm,
+        scale=scale,
+        city_scale=city_scale,
+        parity_pairs=parity_pairs,
+        parity_seed=parity_seed,
+        scenario_config=scenario_config,
+    ))
+    assert outcome.row is not None
+    return outcome.row
 
 
 def run_scenario_grid(
@@ -522,18 +863,23 @@ def run_scenario_grid(
     policies: Sequence[str],
     **case_kwargs: Any,
 ) -> list[dict]:
-    """Sweep the full scenario x backend x refresh-policy product.
+    """Deprecated wrapper over ``run_grid(RunSpec.grid(mode="scenario", ...))``.
 
-    This is the one code path behind the ``bench_scenarios`` refresh table,
-    the CI scenario job and the ROADMAP's "ScenarioConfig sweep" item; all
-    keyword arguments are forwarded to :func:`run_scenario_case`.
+    This was the one code path behind the ``bench_scenarios`` refresh table
+    and the CI scenario job; those now build :class:`RunSpec` grids
+    directly.
     """
-    return [
-        run_scenario_case(scenario, backend, policy, **case_kwargs)
-        for scenario in scenarios
-        for backend in backends
-        for policy in policies
-    ]
+    _warn_deprecated(
+        "run_scenario_grid", 'run_grid(RunSpec.grid(mode="scenario", ...))'
+    )
+    specs = RunSpec.grid(
+        mode="scenario",
+        scenarios=scenarios,
+        backends=backends,
+        policies=policies,
+        **case_kwargs,
+    )
+    return [outcome.row for outcome in run_grid(specs) if outcome.row]
 
 
 # ---------------------------------------------------------------------- #
@@ -554,41 +900,37 @@ CHAOS_RESILIENCE = ResilienceConfig(
 )
 
 
-def run_chaos_case(
-    scenario: str,
-    backend: str,
-    policy: str,
-    *,
-    chaos: str | ChaosConfig = "flaky_oracle",
-    preset: str = "nyc",
-    algorithm: str = "pruneGDP",
-    scale: float = 0.08,
-    city_scale: float = 0.4,
-    resilience: ResilienceConfig | None = None,
-    scenario_config: ScenarioConfig | None = None,
-) -> dict:
+def _chaos_impl(spec: "RunSpec") -> "RunResult":
     """Run one (scenario, backend, refresh-policy) cell under fault injection.
 
     The run is wrapped in a :class:`~repro.resilience.degrade.ResilienceManager`
     with the ``chaos`` preset's fault rates; it must complete without an
     unhandled exception and -- because ``verify_assignments`` is on -- with
     every accepted assignment's leg costs exact against fresh Dijkstra.
-    Returns a flat row with the resilience counters next to the dispatch
-    metrics.  Deterministic: two calls with identical arguments inject the
-    identical fault sequence and produce identical non-timing metrics (see
+    The row carries the resilience counters next to the dispatch metrics.
+    Deterministic: two identical specs inject the identical fault sequence
+    and produce identical non-timing metrics (see
     :func:`deterministic_summary`).
     """
+    scenario = spec.scenario
+    backend = spec.backend
+    policy = spec.refresh_policy
+    assert isinstance(scenario, str) and backend and policy  # RunSpec-validated
+    algorithm = spec.algorithm or "pruneGDP"
+    chaos = spec.chaos if spec.chaos is not None else "flaky_oracle"
     chaos_config = make_chaos_config(chaos) if isinstance(chaos, str) else chaos
     manager = ResilienceManager(
-        config=resilience if resilience is not None else CHAOS_RESILIENCE,
+        config=(
+            spec.resilience if spec.resilience is not None else CHAOS_RESILIENCE
+        ),
         chaos=chaos_config,
     )
     workload, built = make_scenario_workload(
-        preset,
+        spec.preset,
         scenario,
-        scale=scale,
-        city_scale=city_scale,
-        scenario_config=scenario_config,
+        scale=spec.scale,
+        city_scale=spec.city_scale,
+        scenario_config=spec.scenario_config,
         simulation_overrides={"routing_backend": backend},
     )
     simulator = Simulator(
@@ -603,8 +945,9 @@ def run_chaos_case(
         refresh_policy=make_refresh_policy(policy, config=built.config),
         resilience=manager,
     )
-    metrics = simulator.run().metrics
-    return {
+    result = simulator.run()
+    metrics = result.metrics
+    row = {
         "scenario": scenario,
         "backend": backend,
         "policy": policy,
@@ -624,6 +967,39 @@ def run_chaos_case(
         "unified_cost": metrics.unified_cost,
         "dispatch_s": metrics.dispatch_seconds,
     }
+    return RunResult(spec=spec, simulation=result, row=row)
+
+
+def run_chaos_case(
+    scenario: str,
+    backend: str,
+    policy: str,
+    *,
+    chaos: str | ChaosConfig = "flaky_oracle",
+    preset: str = "nyc",
+    algorithm: str = "pruneGDP",
+    scale: float = 0.08,
+    city_scale: float = 0.4,
+    resilience: ResilienceConfig | None = None,
+    scenario_config: ScenarioConfig | None = None,
+) -> dict:
+    """Deprecated wrapper over ``run(RunSpec(mode="chaos", ...))``."""
+    _warn_deprecated("run_chaos_case", 'run(RunSpec(mode="chaos", ...))')
+    outcome = run(RunSpec(
+        mode="chaos",
+        scenario=scenario,
+        backend=backend,
+        refresh_policy=policy,
+        chaos=chaos,
+        preset=preset,
+        algorithm=algorithm,
+        scale=scale,
+        city_scale=city_scale,
+        resilience=resilience,
+        scenario_config=scenario_config,
+    ))
+    assert outcome.row is not None
+    return outcome.row
 
 
 def run_chaos_grid(
@@ -632,18 +1008,18 @@ def run_chaos_grid(
     policies: Sequence[str],
     **case_kwargs: Any,
 ) -> list[dict]:
-    """Sweep the scenario x backend x refresh-policy product under chaos.
-
-    One code path behind ``benchmarks/bench_chaos.py`` and the CI
-    chaos-smoke job; keyword arguments are forwarded to
-    :func:`run_chaos_case`.
-    """
-    return [
-        run_chaos_case(scenario, backend, policy, **case_kwargs)
-        for scenario in scenarios
-        for backend in backends
-        for policy in policies
-    ]
+    """Deprecated wrapper over ``run_grid(RunSpec.grid(mode="chaos", ...))``."""
+    _warn_deprecated(
+        "run_chaos_grid", 'run_grid(RunSpec.grid(mode="chaos", ...))'
+    )
+    specs = RunSpec.grid(
+        mode="chaos",
+        scenarios=scenarios,
+        backends=backends,
+        policies=policies,
+        **case_kwargs,
+    )
+    return [outcome.row for outcome in run_grid(specs) if outcome.row]
 
 
 def deterministic_summary(row: dict) -> dict:

@@ -163,20 +163,26 @@ def format_markdown(
     *,
     threshold: float = DEFAULT_THRESHOLD,
     normalize: str | None = None,
+    metric: str = "us/query",
+    title: str = "Oracle-backend benchmark regression gate",
 ) -> str:
-    """Render the before/after table for the CI job summary."""
-    title = "### Oracle-backend benchmark regression gate"
+    """Render the before/after table for the CI job summary.
+
+    ``metric`` labels the compared quantity (the service-throughput gate
+    passes ``"us/request"``); ``title`` names the gate.  Neither changes the
+    comparison itself -- the numbers come from :class:`BackendDelta`.
+    """
     mode = (
-        f"us/query normalised by `{normalize}` (cross-machine baseline)"
+        f"{metric} normalised by `{normalize}` (cross-machine baseline)"
         if normalize
-        else "absolute us/query (same-runner baseline)"
+        else f"absolute {metric} (same-runner baseline)"
     )
     lines = [
-        title,
+        f"### {title}",
         "",
         f"Metric: {mode}; failure threshold: +{threshold:.0%}.",
         "",
-        "| backend | baseline us/q | fresh us/q | delta | status |",
+        f"| backend | baseline {metric} | fresh {metric} | delta | status |",
         "|---|---|---|---|---|",
     ]
     for d in sorted(deltas, key=lambda d: d.backend):

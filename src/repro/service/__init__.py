@@ -1,0 +1,48 @@
+"""Dispatch-as-a-service: typed API, ingestion queue, long-lived loop.
+
+The service layer is the ROADMAP's "dispatch-as-a-service" milestone: it
+wraps the batch simulator behind a versioned request/response API
+(:mod:`repro.service.schemas`), a bounded admission-controlled ingestion
+queue (:mod:`repro.service.queue`) and a long-lived orchestration loop with
+health/stats endpoints and event streaming (:mod:`repro.service.server`).
+
+Quickstart::
+
+    from repro import DispatchService, RideRequest
+
+    service = DispatchService(
+        network=network, oracle=oracle, vehicles=vehicles,
+        dispatcher=dispatcher, config=config,
+    )
+    service.start()
+    service.submit(RideRequest(request_id=0, origin=3, destination=41,
+                               release_time=2.0))
+    service.tick()                 # one virtual-clock batch
+    result = service.shutdown()    # drains the queue, totals up
+"""
+
+from .queue import Admission, IngestionQueue
+from .schemas import (
+    SCHEMA_VERSION,
+    AssignmentEvent,
+    AssignmentEventKind,
+    RejectionReason,
+    RideRequest,
+    ServiceStats,
+    check_schema_version,
+)
+from .server import DispatchService, ServiceResult
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Admission",
+    "AssignmentEvent",
+    "AssignmentEventKind",
+    "DispatchService",
+    "IngestionQueue",
+    "RejectionReason",
+    "RideRequest",
+    "ServiceResult",
+    "ServiceStats",
+    "check_schema_version",
+]

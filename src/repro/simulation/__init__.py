@@ -7,13 +7,14 @@ the paper's three headline metrics (unified cost, service rate, running
 time) plus the ablation counters (shortest-path queries, memory estimate).
 """
 
-from .engine import Simulator, SimulationResult
+from .engine import RunState, SimulationResult, Simulator
 from .events import Event, EventKind, EventLog
 from .metrics import MetricsCollector, unified_cost
 
 __all__ = [
     "Simulator",
     "SimulationResult",
+    "RunState",
     "Event",
     "EventKind",
     "EventLog",

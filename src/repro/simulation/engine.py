@@ -70,6 +70,33 @@ class SimulationResult:
 
 
 @dataclass
+class RunState:
+    """Mutable state of one in-flight run (stepwise execution).
+
+    Created by :meth:`Simulator.begin_run` and consumed batch by batch via
+    :meth:`Simulator.process_batch` until :meth:`Simulator.end_run` closes
+    the run.  The service layer (:mod:`repro.service`) drives this interface
+    directly, which is why the classic :meth:`Simulator.run` is a thin loop
+    over the same three calls -- service-mode and batch-mode runs execute
+    identical code per batch.
+    """
+
+    metrics: MetricsCollector
+    events: EventLog
+    pending: dict[int, Request]
+    vehicles_by_id: dict[int, Vehicle]
+    #: End time of the last processed batch (the scenario drain anchor).
+    last_time: float
+    start_wall: float
+    #: Count released requests into ``metrics.total_requests`` as batches
+    #: arrive (service mode: the trace is not known up front).
+    track_released: bool
+
+
+# The simulator rejects positional construction: every call site names its
+# collaborators (``network=``, ``oracle=``, ``config=``), the keyword
+# convention shared with DistanceOracle and DispatchService.
+@dataclass(kw_only=True)
 class Simulator:
     """Drives one dispatcher over one workload."""
 
@@ -94,6 +121,7 @@ class Simulator:
     #: the classic unguarded pipeline.
     resilience: ResilienceManager | None = None
     _vehicle_index: GridIndex = field(init=False)
+    _run: RunState | None = field(init=False, default=None, repr=False)
 
     def __post_init__(self) -> None:
         if len({v.vehicle_id for v in self.vehicles}) != len(self.vehicles):
@@ -107,10 +135,43 @@ class Simulator:
         self._vehicle_index = GridIndex.for_network(self.network, self.config.grid_cells)
 
     # ------------------------------------------------------------------ #
+    @property
+    def run_state(self) -> RunState:
+        """The in-flight run's state (stepwise mode only)."""
+        if self._run is None:
+            raise DispatchError("no run in progress; call begin_run() first")
+        return self._run
+
     def run(self) -> SimulationResult:
-        """Execute the whole simulation and return the collected metrics."""
+        """Execute the whole simulation and return the collected metrics.
+
+        Batch mode is stepwise mode with the trace known up front: slice the
+        requests into a :class:`BatchStream` and feed every batch through
+        :meth:`process_batch`.
+        """
+        stream = BatchStream(self.requests, self.config.batch_period)
+        self.begin_run(start_time=stream.start_time)
+        for batch in stream:
+            self.process_batch(batch)
+        return self.end_run()
+
+    def begin_run(
+        self, *, start_time: float = 0.0, track_released: bool = False
+    ) -> None:
+        """Initialise a stepwise run (dispatcher, oracle stats, run state).
+
+        With ``track_released`` the metrics count requests as their batches
+        arrive instead of from ``self.requests`` -- service mode, where the
+        trace is fed in incrementally by :class:`repro.service.DispatchService`.
+        """
+        if self._run is not None:
+            raise DispatchError(
+                "a run is already in progress; finish it with end_run() first"
+            )
         start_wall = time.perf_counter()
-        metrics = MetricsCollector(total_requests=len(self.requests))
+        metrics = MetricsCollector(
+            total_requests=0 if track_released else len(self.requests)
+        )
         events = EventLog(max_events=200_000 if self.record_events else 0)
         self.dispatcher.reset()
         self.oracle.stats.reset()
@@ -133,62 +194,87 @@ class Simulator:
         # every WorldView of this run so the reopening can apply them (see
         # WorldView.cost_restores).
         self._cost_restores: dict[tuple[int, int], float] = {}
+        self._run = RunState(
+            metrics=metrics,
+            events=events,
+            pending={},
+            vehicles_by_id=vehicles_by_id,
+            last_time=start_time,
+            start_wall=start_wall,
+            track_released=track_released,
+        )
 
-        pending: dict[int, Request] = {}
-        stream = BatchStream(self.requests, self.config.batch_period)
-        last_time = stream.start_time
+    def process_batch(self, batch: Batch) -> BatchRecord | None:
+        """Advance the world to ``batch.end_time`` and dispatch its pool.
+
+        Returns the per-batch record, or ``None`` when the pending pool was
+        empty and no dispatch ran (the clock still advances).
+        """
+        state = self.run_state
+        metrics, events, pending = state.metrics, state.events, state.pending
+        state.last_time = batch.end_time
+        if state.track_released:
+            metrics.total_requests += len(batch)
         tracer = get_tracer()
-        for batch in stream:
-            last_time = batch.end_time
-            tracer.set_sim_time(batch.end_time)
-            with tracer.span("sim.advance", batch=batch.index):
-                self._advance_vehicles(batch.end_time, metrics, events)
-                self._expire_pending(pending, batch.end_time, metrics, events)
-            for request in batch:
-                pending[request.request_id] = request
-                if self.record_events:
-                    events.record(
-                        Event(request.release_time, EventKind.REQUEST_RELEASED,
-                              request.request_id)
-                    )
-            with tracer.span("scenario.step", batch=batch.index):
-                self._scenario_step(
-                    batch.end_time, pending, vehicles_by_id, metrics, events
+        tracer.set_sim_time(batch.end_time)
+        with tracer.span("sim.advance", batch=batch.index):
+            self._advance_vehicles(batch.end_time, metrics, events)
+            self._expire_pending(pending, batch.end_time, metrics, events)
+        for request in batch:
+            pending[request.request_id] = request
+            if self.record_events:
+                events.record(
+                    Event(request.release_time, EventKind.REQUEST_RELEASED,
+                          request.request_id)
                 )
-            if resilience is not None:
-                # Recovery probes + invariant probes run between the scenario
-                # step (the only place corruption can be injected) and the
-                # dispatch, so assignments are always priced on a
-                # probe-verified oracle.
-                with tracer.span("resilience.before_dispatch", batch=batch.index):
-                    resilience.before_dispatch(
-                        self.network, self.oracle, batch.end_time
-                    )
-                if (
-                    self.refresh_policy is not None
-                    and not self.oracle.serving_fallback
-                    and not self.oracle.is_stale
-                ):
-                    # A breaker recovery probe may have rebuilt the oracle
-                    # outside the refresh policy; stop its stale clock.
-                    self.refresh_policy.stats.clear_stale()
-            if not pending:
-                continue
-            record = self._dispatch_batch(
-                batch, pending, vehicles_by_id, metrics, events
+        with tracer.span("scenario.step", batch=batch.index):
+            self._scenario_step(
+                batch.end_time, pending, state.vehicles_by_id, metrics, events
             )
-            metrics.record_batch(record)
+        if self.resilience is not None:
+            # Recovery probes + invariant probes run between the scenario
+            # step (the only place corruption can be injected) and the
+            # dispatch, so assignments are always priced on a
+            # probe-verified oracle.
+            with tracer.span("resilience.before_dispatch", batch=batch.index):
+                self.resilience.before_dispatch(
+                    self.network, self.oracle, batch.end_time
+                )
+            if (
+                self.refresh_policy is not None
+                and not self.oracle.serving_fallback
+                and not self.oracle.is_stale
+            ):
+                # A breaker recovery probe may have rebuilt the oracle
+                # outside the refresh policy; stop its stale clock.
+                self.refresh_policy.stats.clear_stale()
+        if not pending:
+            return None
+        record = self._dispatch_batch(
+            batch, pending, state.vehicles_by_id, metrics, events
+        )
+        metrics.record_batch(record)
+        return record
 
-        # Fast-forward the scenario tail: events scheduled past the last
-        # batch (wave recoveries, reopenings, shift ends) are applied at the
-        # stream's end so paired events always balance out -- a workload's
-        # network is shared across runs and must not stay mutated.  Then
-        # rebuild anything still stale so the run's tail (vehicles finishing
-        # their schedules) is served from fresh structures, and let the
-        # fleet finish every remaining stop and total up.
+    def end_run(self) -> SimulationResult:
+        """Close the run: drain the scenario tail, finish the fleet, total up.
+
+        Fast-forwards the scenario tail -- events scheduled past the last
+        batch (wave recoveries, reopenings, shift ends) are applied at the
+        stream's end so paired events always balance out; a workload's
+        network is shared across runs and must not stay mutated.  Then
+        rebuilds anything still stale so the run's tail (vehicles finishing
+        their schedules) is served from fresh structures, and lets the
+        fleet finish every remaining stop.
+        """
+        state = self.run_state
+        metrics, events, pending = state.metrics, state.events, state.pending
+        last_time = state.last_time
+        resilience = self.resilience
         if self.timeline is not None and self.timeline.remaining:
             self._scenario_step(
-                last_time, pending, vehicles_by_id, metrics, events, drain=True
+                last_time, pending, state.vehicles_by_id, metrics, events,
+                drain=True,
             )
         if self.refresh_policy is not None:
             self.refresh_policy.finalize(self.oracle)
@@ -222,7 +308,7 @@ class Simulator:
             metrics.probe_failures = rstats.probe_failures
             metrics.self_heals = rstats.self_heals
             metrics.recovery_seconds = rstats.recovery_seconds
-        metrics.wall_clock_seconds = time.perf_counter() - start_wall
+        metrics.wall_clock_seconds = time.perf_counter() - state.start_wall
         metrics.observe_memory(self._memory_estimate())
         # ``penalty`` has been accumulated as requests expired; recompute the
         # final unified cost to make sure the invariant holds.
@@ -231,6 +317,7 @@ class Simulator:
             metrics.total_travel_time + metrics.penalty,
             rel_tol=1e-9,
         )
+        self._run = None
         return SimulationResult(
             algorithm=self.dispatcher.name,
             metrics=metrics,

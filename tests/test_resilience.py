@@ -23,8 +23,9 @@ from repro.exceptions import (
 )
 from repro.experiments.harness import (
     CHAOS_RESILIENCE,
+    RunSpec,
     deterministic_summary,
-    run_chaos_case,
+    run,
 )
 from repro.network.shortest_path import DistanceOracle
 from repro.resilience import (
@@ -443,14 +444,19 @@ class TestGuardedRefresh:
 SMALL = dict(scale=0.05, city_scale=0.35)
 
 
+def _chaos_row(policy: str, *, chaos: str) -> dict:
+    outcome = run(RunSpec(
+        mode="chaos", scenario="stadium_surge", backend="ch",
+        refresh_policy=policy, chaos=chaos, **SMALL,
+    ))
+    assert outcome.row is not None
+    return outcome.row
+
+
 class TestChaosRuns:
     def test_same_seed_runs_are_identical(self):
-        first = run_chaos_case(
-            "stadium_surge", "ch", "repair", chaos="flaky_oracle", **SMALL
-        )
-        second = run_chaos_case(
-            "stadium_surge", "ch", "repair", chaos="flaky_oracle", **SMALL
-        )
+        first = _chaos_row("repair", chaos="flaky_oracle")
+        second = _chaos_row("repair", chaos="flaky_oracle")
         assert deterministic_summary(first) == deterministic_summary(second)
         assert first["faults"] > 0
 
@@ -460,29 +466,26 @@ class TestChaosRuns:
         # exact (CHAOS_RESILIENCE turns verify_assignments on, so a single
         # inexact accepted cost raises), and the resilience machinery
         # actually engaged.
-        row = run_chaos_case(
-            "stadium_surge", "ch", policy, chaos="oracle_meltdown", **SMALL
-        )
+        row = _chaos_row(policy, chaos="oracle_meltdown")
         assert row["faults"] > 0
         assert row["breaker_trips"] > 0
         assert row["self_heals"] > 0
         assert row["service_rate"] > 0
-        again = run_chaos_case(
-            "stadium_surge", "ch", policy, chaos="oracle_meltdown", **SMALL
-        )
+        again = _chaos_row(policy, chaos="oracle_meltdown")
         assert deterministic_summary(row) == deterministic_summary(again)
 
     def test_degraded_dispatcher_engages_under_spikes(self):
-        row = run_chaos_case(
-            "stadium_surge", "ch", "eager", chaos="oracle_meltdown", **SMALL
-        )
+        row = _chaos_row("eager", chaos="oracle_meltdown")
         assert row["overruns"] > 0
         assert row["degraded"] > 0
 
     def test_chaos_metrics_quiet_without_chaos(self):
-        from repro.experiments.harness import run_scenario_case
-
-        row = run_scenario_case("stadium_surge", "ch", "repair", **SMALL)
+        outcome = run(RunSpec(
+            mode="scenario", scenario="stadium_surge", backend="ch",
+            refresh_policy="repair", **SMALL,
+        ))
+        row = outcome.row
+        assert row is not None
         assert "breaker_trips" not in row  # plain grid stays chaos-free
 
     def test_chaos_resilience_defaults_are_deterministic(self):

@@ -1,0 +1,627 @@
+"""Tests of the dispatch service layer (:mod:`repro.service`).
+
+Covers the typed schemas (validation + wire round-trips), the bounded
+ingestion queue (ordering, admission policies, async backpressure), the
+service lifecycle (tick alignment, graceful shutdown, health/stats/registry
+endpoints), the service-vs-batch parity gate, and the deprecation shims the
+API redesign left behind (harness wrappers and package import paths).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import warnings
+
+import pytest
+
+import repro
+from repro.config import ServiceConfig
+from repro.dispatch import make_dispatcher
+from repro.exceptions import ConfigurationError, SchemaError, ServiceError
+from repro.experiments.harness import (
+    RunSpec,
+    run,
+    run_chaos_grid,
+    run_scenario_grid,
+)
+from repro.model.request import Request
+from repro.model.vehicle import Vehicle
+from repro.network.road_network import RoadNetwork
+from repro.network.shortest_path import DistanceOracle
+from repro.service import (
+    Admission,
+    AssignmentEvent,
+    AssignmentEventKind,
+    DispatchService,
+    IngestionQueue,
+    RejectionReason,
+    RideRequest,
+    ServiceStats,
+)
+from repro.service.schemas import SCHEMA_VERSION, check_schema_version
+from repro.simulation.engine import Simulator
+from repro.simulation.events import EventKind
+from repro.workloads.presets import make_workload
+
+
+def _ride(request_id: int, release_time: float = 0.0, **kwargs) -> RideRequest:
+    defaults = dict(origin=0, destination=7)
+    defaults.update(kwargs)
+    return RideRequest(
+        request_id=request_id, release_time=release_time, **defaults
+    )
+
+
+# --------------------------------------------------------------------- #
+# schemas
+# --------------------------------------------------------------------- #
+class TestRideRequestSchema:
+    def test_dict_round_trip(self):
+        ride = _ride(3, 12.5, riders=2, max_wait=60.0, deadline=400.0,
+                     direct_cost=88.0)
+        assert RideRequest.from_dict(ride.to_dict()) == ride
+
+    def test_json_round_trip(self):
+        ride = _ride(4, 1.0)
+        assert RideRequest.from_json(ride.to_json()) == ride
+
+    @pytest.mark.parametrize("overrides", [
+        dict(request_id=-1),
+        dict(origin=-2),
+        dict(riders=0),
+        dict(release_time=float("inf")),
+        dict(max_wait=-1.0),
+        dict(release_time=10.0, deadline=5.0),
+        dict(direct_cost=float("nan")),
+        dict(schema_version=99),
+    ])
+    def test_validation_rejects(self, overrides):
+        fields = dict(request_id=1, origin=0, destination=7,
+                      release_time=0.0)
+        fields.update(overrides)
+        with pytest.raises(SchemaError):
+            RideRequest(**fields)
+
+    def test_unknown_fields_rejected(self):
+        payload = _ride(1).to_dict() | {"surge_multiplier": 2.0}
+        with pytest.raises(SchemaError, match="unknown fields"):
+            RideRequest.from_dict(payload)
+
+    def test_version_mismatch_rejected(self):
+        payload = _ride(1).to_dict() | {"schema_version": SCHEMA_VERSION + 1}
+        with pytest.raises(SchemaError, match="incompatible schema_version"):
+            RideRequest.from_dict(payload)
+        with pytest.raises(SchemaError):
+            check_schema_version({"schema_version": 0}, kind="RideRequest")
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SchemaError, match="invalid JSON"):
+            RideRequest.from_json("{not json")
+        with pytest.raises(SchemaError, match="must be an object"):
+            RideRequest.from_json("[1, 2]")
+
+    def test_internal_request_round_trip_is_loss_free(
+        self, make_request, oracle, config
+    ):
+        request = make_request(5, 0, 21, 7.0, riders=2)
+        ride = RideRequest.from_request(request)
+        back = ride.to_request(oracle=oracle, config=config)
+        assert back == request
+
+    def test_to_request_derives_missing_fields(self, oracle, config):
+        ride = _ride(6, 10.0, origin=0, destination=21)
+        request = ride.to_request(oracle=oracle, config=config)
+        direct = oracle.cost(0, 21)
+        assert request.direct_cost == direct
+        assert request.deadline == 10.0 + config.gamma * direct
+        assert request.max_wait == config.max_wait
+
+    def test_to_request_raises_on_unreachable(self, config):
+        network = RoadNetwork()
+        network.add_node(0, 0.0, 0.0)
+        network.add_node(1, 100.0, 0.0)  # no edges: unroutable pair
+        oracle = DistanceOracle(network)
+        ride = _ride(7, origin=0, destination=1)
+        with pytest.raises(repro.UnreachableError):
+            ride.to_request(oracle=oracle, config=config)
+
+
+class TestAssignmentEventSchema:
+    def test_round_trip_flattens_enums(self):
+        event = AssignmentEvent(
+            event=AssignmentEventKind.REJECTED, time=5.0, request_id=1,
+            batch_index=2, reason=RejectionReason.QUEUE_FULL,
+        )
+        payload = event.to_dict()
+        assert payload["event"] == "rejected"
+        assert payload["reason"] == "queue_full"
+        assert AssignmentEvent.from_dict(payload) == event
+        assert AssignmentEvent.from_json(event.to_json()) == event
+
+    def test_assigned_requires_vehicle(self):
+        with pytest.raises(SchemaError, match="vehicle_id"):
+            AssignmentEvent(
+                event=AssignmentEventKind.ASSIGNED, time=0.0, request_id=1
+            )
+
+    def test_unknown_wire_values_rejected(self):
+        event = AssignmentEvent(
+            event=AssignmentEventKind.COMPLETED, time=1.0, request_id=1,
+            vehicle_id=0,
+        )
+        with pytest.raises(SchemaError):
+            AssignmentEvent.from_dict(event.to_dict() | {"event": "teleported"})
+        with pytest.raises(SchemaError):
+            AssignmentEvent.from_dict(event.to_dict() | {"reason": "cosmic_ray"})
+
+
+class TestServiceStatsSchema:
+    def test_round_trip(self):
+        stats = ServiceStats(
+            received=10, accepted=8, rejected={"queue_full": 2}, assigned=6,
+            completed=5, batches=3, queue_depth=1, queue_high_watermark=4,
+            sim_time=15.0, service_rate=0.75,
+        )
+        assert ServiceStats.from_dict(stats.to_dict()) == stats
+        assert ServiceStats.from_json(stats.to_json()) == stats
+
+    @pytest.mark.parametrize("overrides", [
+        dict(received=-1),
+        dict(service_rate=1.5),
+        dict(schema_version=2),
+    ])
+    def test_validation_rejects(self, overrides):
+        with pytest.raises(SchemaError):
+            ServiceStats(**overrides)
+
+
+# --------------------------------------------------------------------- #
+# ingestion queue
+# --------------------------------------------------------------------- #
+class TestIngestionQueue:
+    def test_constructor_validates(self):
+        with pytest.raises(ConfigurationError):
+            IngestionQueue(capacity=0)
+        with pytest.raises(ConfigurationError):
+            IngestionQueue(policy="panic")
+        with pytest.raises(TypeError):
+            IngestionQueue(16)  # keyword-only
+
+    def test_drains_in_release_order(self):
+        queue = IngestionQueue(capacity=8)
+        for ride in (_ride(3, 9.0), _ride(1, 2.0), _ride(2, 2.0)):
+            assert queue.offer(ride).accepted
+        # Strict bound: release == until belongs to the *next* batch.
+        assert [r.request_id for r in queue.take_due(9.0)] == [1, 2]
+        assert queue.depth == 1
+        assert [r.request_id for r in queue.take_due(9.5)] == [3]
+
+    def test_duplicates_rejected_even_after_consumption(self):
+        queue = IngestionQueue(capacity=8)
+        assert queue.offer(_ride(1)).accepted
+        queue.take_due(100.0)
+        admission = queue.offer(_ride(1))
+        assert not admission.accepted
+        assert admission.reason is RejectionReason.DUPLICATE_REQUEST
+
+    def test_full_queue_rejects(self):
+        queue = IngestionQueue(capacity=1)
+        assert queue.offer(_ride(1)).accepted
+        admission = queue.offer(_ride(2))
+        assert admission == Admission(
+            accepted=False, reason=RejectionReason.QUEUE_FULL, queue_depth=1
+        )
+        assert queue.counters.rejected == {"queue_full": 1}
+
+    def test_drop_oldest_sheds_longest_queued(self):
+        queue = IngestionQueue(capacity=2, policy="drop_oldest")
+        queue.offer(_ride(1, 0.0))
+        queue.offer(_ride(2, 5.0))
+        admission = queue.offer(_ride(3, 10.0))
+        assert admission.accepted
+        assert admission.shed is not None
+        assert admission.shed.request_id == 1
+        assert queue.counters.rejected == {"shed_oldest": 1}
+        assert [r.request_id for r in queue.take_due(100.0)] == [2, 3]
+
+    def test_closed_queue_refuses(self):
+        queue = IngestionQueue(capacity=2)
+        queue.offer(_ride(1))
+        queue.close()
+        admission = queue.offer(_ride(2))
+        assert admission.reason is RejectionReason.SHUTTING_DOWN
+        # Queued requests stay drainable after close.
+        assert [r.request_id for r in queue.take_due(100.0)] == [1]
+
+    def test_high_watermark_tracks_peak(self):
+        queue = IngestionQueue(capacity=8)
+        for request_id in range(3):
+            queue.offer(_ride(request_id))
+        queue.take_due(100.0)
+        queue.offer(_ride(9))
+        assert queue.counters.high_watermark == 3
+        assert queue.depth == 1
+
+    def test_async_put_blocks_until_tick_frees_space(self):
+        async def scenario():
+            queue = IngestionQueue(capacity=1)
+            assert (await queue.put(_ride(1, 0.0))).accepted
+            waiter = asyncio.ensure_future(queue.put(_ride(2, 1.0)))
+            await asyncio.sleep(0)
+            assert not waiter.done()  # backpressure: full queue blocks
+            assert [r.request_id for r in queue.take_due(10.0)] == [1]
+            admission = await asyncio.wait_for(waiter, timeout=1.0)
+            assert admission.accepted
+            assert queue.depth == 1
+
+        asyncio.run(scenario())
+
+    def test_async_put_wakes_on_close(self):
+        async def scenario():
+            queue = IngestionQueue(capacity=1)
+            await queue.put(_ride(1))
+            waiter = asyncio.ensure_future(queue.put(_ride(2)))
+            await asyncio.sleep(0)
+            queue.close()
+            admission = await asyncio.wait_for(waiter, timeout=1.0)
+            assert admission.reason is RejectionReason.SHUTTING_DOWN
+
+        asyncio.run(scenario())
+
+    def test_truthiness_is_not_depth(self):
+        assert bool(IngestionQueue(capacity=1)) is True
+        assert len(IngestionQueue(capacity=1)) == 0
+
+
+# --------------------------------------------------------------------- #
+# service lifecycle
+# --------------------------------------------------------------------- #
+@pytest.fixture()
+def make_service(grid_network, oracle, config):
+    """Factory building a small service over the deterministic grid city."""
+
+    def _make(**kwargs) -> DispatchService:
+        return DispatchService(
+            network=grid_network,
+            oracle=oracle,
+            vehicles=[
+                Vehicle(vehicle_id=0, location=0),
+                Vehicle(vehicle_id=1, location=35),
+            ],
+            dispatcher=make_dispatcher(kwargs.pop("algorithm", "pruneGDP")),
+            config=config,
+            **kwargs,
+        )
+
+    return _make
+
+
+class TestDispatchServiceLifecycle:
+    def test_constructor_is_keyword_only(self, grid_network, oracle, config):
+        with pytest.raises(TypeError):
+            DispatchService(grid_network, oracle)  # noqa: not keyword
+
+    def test_submit_requires_start(self, make_service):
+        service = make_service()
+        with pytest.raises(ServiceError, match="not started"):
+            service.submit(_ride(1))
+        with pytest.raises(ServiceError, match="not started"):
+            service.tick()
+
+    def test_instances_run_once(self, make_service):
+        service = make_service()
+        service.start()
+        with pytest.raises(ServiceError, match="already started"):
+            service.start()
+        with pytest.raises(ServiceError, match="not been shut down"):
+            service.result
+        service.shutdown()
+        with pytest.raises(ServiceError, match="run once"):
+            service.start()
+        with pytest.raises(ServiceError, match="already stopped"):
+            service.submit(_ride(1))
+
+    def test_tick_aligns_windows_like_batch_stream(
+        self, make_service, make_request
+    ):
+        service = make_service()
+        service.start()
+        # batch_period=5: release 7 -> first window [5, 10); release 17
+        # lands two windows later, with an empty window in between that the
+        # tick must still process (pending-pool retries happen there).
+        service.submit(make_request(1, 0, 7, 7.0))
+        service.submit(make_request(2, 35, 28, 17.0))
+        assert service.tick() is not None  # [5, 10): request 1
+        service.tick()  # [10, 15): empty window, still ticked
+        service.tick()  # [15, 20): request 2
+        assert service.stats().batches == 3
+        assert service.tick() is None  # queue empty: no-op
+        result = service.shutdown()
+        assert result.stats.batches == 3
+        assert result.stats.assigned == 2
+        times = [e.time for e in result.events
+                 if e.event is AssignmentEventKind.ASSIGNED]
+        assert all(t >= 5.0 for t in times)
+
+    def test_graceful_shutdown_drains_queue(self, make_service, make_request):
+        service = make_service()
+        service.start()
+        # Five requests spanning several windows, never ticked manually:
+        # the drain must give each one its dispatch opportunity.
+        for i, release in enumerate((0.0, 3.0, 11.0, 22.0, 40.0)):
+            admission = service.submit(make_request(i, 0, 7 + i, release))
+            assert admission.accepted
+        assert service.queue.depth == 5
+        result = service.shutdown()
+        assert service.queue.depth == 0
+        assert service.stopped
+        assert result.stats.queue_depth == 0
+        assert result.stats.accepted == 5
+        terminal = (
+            result.stats.assigned
+            + result.stats.expired
+            + result.stats.dispatch_rejected
+        )
+        assert terminal == 5  # nothing silently vanished in the drain
+        assert result.stats.assigned > 0
+
+    def test_shutdown_without_drain_rejects_remainder(
+        self, make_service, make_request
+    ):
+        service = make_service(
+            service_config=ServiceConfig(drain_on_shutdown=False)
+        )
+        service.start()
+        for i in range(3):
+            service.submit(make_request(i, 0, 7, float(i)))
+        result = service.shutdown()
+        assert result.stats.rejected["shutting_down"] == 3
+        assert result.stats.assigned == 0
+        reasons = [e.reason for e in result.events]
+        assert reasons.count(RejectionReason.SHUTTING_DOWN) == 3
+
+    def test_unknown_node_refused_before_queueing(self, make_service):
+        service = make_service()
+        service.start()
+        admission = service.submit(_ride(1, origin=9999))
+        assert not admission.accepted
+        assert admission.reason is RejectionReason.UNKNOWN_NODE
+        assert service.queue.depth == 0
+        assert service.stats().rejected == {"unknown_node": 1}
+        service.shutdown()
+
+    def test_duplicate_submission_rejected(self, make_service, make_request):
+        service = make_service()
+        service.start()
+        request = make_request(1, 0, 7, 0.0)
+        assert service.submit(request).accepted
+        admission = service.submit(request)
+        assert admission.reason is RejectionReason.DUPLICATE_REQUEST
+        service.shutdown()
+
+    def test_asubmit_is_the_async_twin(self, make_service, make_request):
+        service = make_service()
+        service.start()
+
+        async def scenario():
+            return await service.asubmit(make_request(1, 0, 7, 0.0))
+
+        assert asyncio.run(scenario()).accepted
+        result = service.shutdown()
+        assert result.stats.assigned == 1
+
+    def test_subscribers_stream_events(self, make_service, make_request):
+        service = make_service()
+        seen: list[AssignmentEvent] = []
+        unsubscribe = service.subscribe(seen.append)
+        service.start()
+        service.submit(make_request(1, 0, 7, 0.0))
+        service.tick()
+        assert any(e.event is AssignmentEventKind.ASSIGNED for e in seen)
+        count = len(seen)
+        unsubscribe()
+        service.submit(make_request(2, 35, 28, 20.0))
+        service.shutdown()
+        assert len(seen) == count  # nothing delivered after unsubscribe
+
+    def test_event_history_is_bounded(self, make_service, make_request):
+        service = make_service(service_config=ServiceConfig(event_history=1))
+        service.start()
+        for i in range(4):
+            service.submit(make_request(i, 0, 7 + i, 0.0))
+        result = service.shutdown()
+        assert len(result.events) == 1
+        assert result.stats.events_dropped > 0
+
+    def test_health_endpoint_follows_lifecycle(
+        self, make_service, make_request
+    ):
+        service = make_service()
+        assert service.health()["status"] == "stopped"
+        service.start()
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["queue_capacity"] == ServiceConfig().queue_capacity
+        assert health["slo_service_rate"] == ServiceConfig().slo_service_rate
+        service.submit(make_request(1, 0, 7, 0.0))
+        result = service.shutdown()
+        assert service.health()["status"] == "stopped"
+        assert result.slo_met == (
+            result.service_rate >= ServiceConfig().slo_service_rate
+        )
+
+    def test_registry_carries_service_metrics(
+        self, make_service, make_request
+    ):
+        service = make_service()
+        service.start()
+        service.submit(make_request(1, 0, 7, 0.0))
+        service.tick()
+        snapshot = service.registry().as_dict()
+        assert snapshot["service.received"] == 1
+        assert snapshot["service.accepted"] == 1
+        assert snapshot["service.batches"] == 1
+        assert "requests.assigned" in snapshot  # simulation half included
+        service.shutdown()
+
+
+class TestServiceConfigValidation:
+    @pytest.mark.parametrize("overrides", [
+        dict(queue_capacity=0),
+        dict(admission_policy="panic"),
+        dict(slo_service_rate=1.5),
+        dict(event_history=-1),
+        dict(max_drain_batches=0),
+    ])
+    def test_rejects_bad_values(self, overrides):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(**overrides)
+
+    def test_with_overrides(self):
+        config = ServiceConfig().with_overrides(queue_capacity=32)
+        assert config.queue_capacity == 32
+        assert config.admission_policy == ServiceConfig().admission_policy
+
+
+# --------------------------------------------------------------------- #
+# parity with batch mode (the acceptance gate)
+# --------------------------------------------------------------------- #
+def _assignment_pairs(events) -> list[tuple[int, int]]:
+    return sorted(
+        (event.subject, event.other)
+        for event in events.of_kind(EventKind.REQUEST_ASSIGNED)
+    )
+
+
+class TestBatchParity:
+    def test_service_reproduces_batch_assignments(self):
+        workload = make_workload("nyc", scale=0.04, city_scale=0.35)
+        batch = Simulator(
+            network=workload.network,
+            oracle=workload.fresh_oracle(),
+            vehicles=workload.fresh_vehicles(),
+            requests=list(workload.requests),
+            dispatcher=make_dispatcher("pruneGDP"),
+            config=workload.simulation_config,
+            record_events=True,
+        ).run()
+        service = DispatchService(
+            network=workload.network,
+            oracle=workload.fresh_oracle(),
+            vehicles=workload.fresh_vehicles(),
+            dispatcher=make_dispatcher("pruneGDP"),
+            config=workload.simulation_config,
+        )
+        outcome = service.serve(
+            RideRequest.from_request(r) for r in workload.requests
+        )
+        assert _assignment_pairs(outcome.simulation.events) == (
+            _assignment_pairs(batch.events)
+        )
+        assert outcome.unified_cost == batch.unified_cost
+        assert outcome.stats.assigned == batch.metrics.assigned_requests
+
+    def test_harness_service_mode_matches_single(self):
+        workload = make_workload("nyc", scale=0.04, city_scale=0.35)
+        single = run(RunSpec(
+            mode="single", workload=workload, algorithm="pruneGDP"
+        ))
+        service = run(RunSpec(
+            mode="service", workload=workload, algorithm="pruneGDP"
+        ))
+        assert single.simulation is not None
+        assert service.service is not None
+        assert service.service.simulation.unified_cost == (
+            single.simulation.unified_cost
+        )
+
+    def test_serve_survives_a_tight_queue(self):
+        """Under a deliberately tiny queue serve() ticks early instead of
+        deadlocking; throughput accounting still balances."""
+        workload = make_workload("nyc", scale=0.03, city_scale=0.35)
+        service = DispatchService(
+            network=workload.network,
+            oracle=workload.fresh_oracle(),
+            vehicles=workload.fresh_vehicles(),
+            dispatcher=make_dispatcher("pruneGDP"),
+            config=workload.simulation_config,
+            service_config=ServiceConfig(queue_capacity=2),
+        )
+        outcome = service.serve(
+            RideRequest.from_request(r) for r in workload.requests
+        )
+        assert outcome.stats.accepted == len(workload.requests)
+        assert outcome.stats.queue_depth == 0
+
+
+# --------------------------------------------------------------------- #
+# RunSpec validation and deprecation shims
+# --------------------------------------------------------------------- #
+class TestRunSpec:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            RunSpec(mode="batch")
+
+    def test_rejects_mode_only_fields_on_wrong_mode(self):
+        with pytest.raises(ConfigurationError, match="chaos="):
+            RunSpec(mode="single", chaos="flaky_oracle")
+        with pytest.raises(ConfigurationError, match="service_config="):
+            RunSpec(mode="single", service_config=ServiceConfig())
+
+    def test_rejects_preset_name_in_workload_field(self):
+        with pytest.raises(ConfigurationError, match="preset="):
+            RunSpec(mode="service", workload="nyc")
+
+    def test_scenario_modes_need_cell_coordinates(self):
+        with pytest.raises(ConfigurationError, match="scenario"):
+            RunSpec(mode="scenario")
+        with pytest.raises(ConfigurationError, match="backend"):
+            RunSpec(mode="chaos", scenario="stadium_surge")
+
+    def test_traced_needs_out_dir(self):
+        with pytest.raises(ConfigurationError, match="out_dir"):
+            RunSpec(mode="traced")
+
+    def test_grid_builds_the_product(self):
+        specs = RunSpec.grid(
+            scenarios=("a", "b"), backends=("ch",),
+            policies=("eager", "repair"), mode="scenario",
+        )
+        assert len(specs) == 4
+        assert {spec.refresh_policy for spec in specs} == {"eager", "repair"}
+
+    def test_with_overrides(self):
+        spec = RunSpec(mode="single").with_overrides(algorithm="SARD")
+        assert spec.algorithm == "SARD"
+
+
+class TestDeprecationShims:
+    def test_harness_grid_wrappers_warn(self):
+        with pytest.deprecated_call(match="run_scenario_grid is deprecated"):
+            assert run_scenario_grid((), (), ()) == []
+        with pytest.deprecated_call(match="run_chaos_grid is deprecated"):
+            assert run_chaos_grid((), (), ()) == []
+
+    def test_package_getattr_warns_and_delegates(self):
+        with pytest.deprecated_call(match="run_traced_case"):
+            shim = repro.run_traced_case
+        assert callable(shim)
+        with pytest.deprecated_call(
+            match='run_grid\\(RunSpec.grid\\(mode="chaos"'
+        ):
+            repro.run_chaos_grid
+
+    def test_old_names_left_the_eager_namespace(self):
+        assert "run_traced_case" not in repro.__all__
+        assert "run" in repro.__all__ and "RunSpec" in repro.__all__
+        with pytest.raises(AttributeError):
+            repro.run_everything_everywhere
+
+    def test_new_front_door_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run(RunSpec(
+                mode="single",
+                workload=make_workload("nyc", scale=0.02, city_scale=0.35),
+                algorithm="pruneGDP",
+            ))
